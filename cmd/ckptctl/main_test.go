@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestDriveCRAKSparse(t *testing.T) {
+	if err := drive("crak", "sparse", 4, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriveTICKChain(t *testing.T) {
+	if err := drive("tick", "stencil", 4, 12, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriveBLCRMultithreaded(t *testing.T) {
+	if err := drive("blcr", "mt", 2, 3000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriveRejectsUnknown(t *testing.T) {
+	if err := drive("nope", "sparse", 4, 12, 1); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+	if err := drive("crak", "nope", 4, 12, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

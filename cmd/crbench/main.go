@@ -1,0 +1,77 @@
+// Command crbench runs the derived experiments E1–E10 (DESIGN.md §3) and
+// prints their tables. Each experiment turns one of the paper's
+// qualitative claims into a measured result on the simulated substrate.
+//
+// Usage:
+//
+//	crbench            # run every experiment
+//	crbench -e 4       # run only E4
+//	crbench -e 1,5,9   # run a subset
+//	crbench -quick     # smaller parameters (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	sel := flag.String("e", "", "comma-separated experiment numbers (default: all)")
+	quick := flag.Bool("quick", false, "smaller parameters")
+	flag.Parse()
+
+	want := map[int]bool{}
+	if *sel != "" {
+		for _, part := range strings.Split(*sel, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 || n > 10 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..10)\n", part)
+				os.Exit(2)
+			}
+			want[n] = true
+		}
+	}
+	run := func(n int) bool { return len(want) == 0 || want[n] }
+
+	sizes := []int{1, 4, 16, 64}
+	e2mib, e3mib, e7mib := 16, 8, 8
+	loads := []int{0, 2, 4, 8, 16}
+	mtbfs := []float64{2, 4, 8, 24, 72}
+	ranks := []int{2, 4, 8, 16}
+	if *quick {
+		sizes = []int{1, 4}
+		e2mib, e3mib, e7mib = 4, 2, 2
+		loads = []int{0, 8}
+		mtbfs = []float64{8, 24}
+		ranks = []int{2, 8}
+	}
+
+	tables := []struct {
+		n  int
+		fn func() *trace.Table
+	}{
+		{1, func() *trace.Table { return experiments.E1UserVsSystem(sizes) }},
+		{2, func() *trace.Table { return experiments.E2Incremental(e2mib) }},
+		{3, func() *trace.Table { return experiments.E3BlockSize(e3mib, []int{64, 128, 256, 512, 1024, 2048, 4096}) }},
+		{4, func() *trace.Table { return experiments.E4Agents(loads) }},
+		{5, func() *trace.Table { return experiments.E5Storage(mtbfs) }},
+		{6, func() *trace.Table { return experiments.E6Interval(8) }},
+		{7, func() *trace.Table { return experiments.E7Hardware(e7mib) }},
+		{8, func() *trace.Table { return experiments.E8MPI(ranks, 4) }},
+		{9, func() *trace.Table { return experiments.E9Matrix() }},
+		{10, func() *trace.Table { return experiments.E10Extras() }},
+	}
+	for _, t := range tables {
+		if !run(t.n) {
+			continue
+		}
+		fmt.Print(t.fn())
+		fmt.Println()
+	}
+}

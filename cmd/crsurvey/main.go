@@ -1,0 +1,70 @@
+// Command crsurvey regenerates the paper's two artifacts from the live
+// implementations: Figure 1 (the classification of checkpoint/restart
+// implementations) and Table 1 (the feature matrix of the twelve surveyed
+// systems), and diffs the probed matrix against the published one.
+//
+// Usage:
+//
+//	crsurvey            # print both artifacts and the diff
+//	crsurvey -figure1   # only the taxonomy tree
+//	crsurvey -table1    # only the feature matrix
+//	crsurvey -extended  # add the user-level schemes and TICK as extra rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/simtime"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	fig := flag.Bool("figure1", false, "print only Figure 1 (taxonomy tree)")
+	tab := flag.Bool("table1", false, "print only Table 1 (feature matrix)")
+	ext := flag.Bool("extended", false, "extend Table 1 with user-level schemes and TICK")
+	flag.Parse()
+
+	both := !*fig && !*tab
+
+	if *fig || both {
+		fmt.Println("Figure 1 — Classification of the checkpoint/restart implementations")
+		fmt.Println()
+		fmt.Print(repro.Figure1())
+		fmt.Println()
+	}
+	if *tab || both {
+		rows := repro.ProbeTable1()
+		if *ext {
+			extras := []repro.Mechanism{
+				repro.NewLibCkpt(0, nil, false),
+				repro.NewLibCkpt(0, nil, true),
+				repro.NewCondorStyle(),
+				repro.NewEskyStyle(simtime.Minute, nil),
+				repro.NewPreloadShim(),
+				repro.NewLibTckpt(0, nil),
+				repro.NewTICK(),
+			}
+			for _, m := range extras {
+				rows = append(rows, m.Features())
+			}
+		}
+		fmt.Println("Table 1 — Feature matrix, probed from the live implementations")
+		fmt.Println()
+		fmt.Print(taxonomy.RenderTable(rows))
+		fmt.Println()
+
+		diffs := repro.Table1Diff()
+		if len(diffs) == 0 {
+			fmt.Println("✓ probed matrix matches the paper's Table 1 exactly")
+		} else {
+			fmt.Println("✗ mismatches against the paper's Table 1:")
+			for _, d := range diffs {
+				fmt.Println("  " + d)
+			}
+			os.Exit(1)
+		}
+	}
+}

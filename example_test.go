@@ -1,0 +1,58 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the complete checkpoint/restart flow with CRAK:
+// run, checkpoint through the kernel thread, kill, restart, and verify
+// the result equals an undisturbed run. The simulation is deterministic,
+// so the output is exact.
+func Example() {
+	app := repro.Sparse{MiB: 2, WriteFrac: 0.2, Seed: 9}
+
+	// Reference: what the undisturbed application computes.
+	refReg := repro.NewRegistry()
+	refReg.MustRegister(app)
+	kr := repro.NewMachine("ref", refReg)
+	pr, _ := kr.Spawn(app.Name())
+	repro.SetIterations(pr, 12)
+	kr.RunUntilExit(pr, kr.Now().Add(repro.Minute))
+	want := repro.Fingerprint(pr)
+
+	// The checkpointed run.
+	reg := repro.NewRegistry()
+	reg.MustRegister(app)
+	k := repro.NewMachine("node0", reg)
+	m := repro.NewCRAK()
+	if err := m.Install(k); err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, _ := k.Spawn(app.Name())
+	repro.SetIterations(p, 12)
+	for p.Regs().PC < 6 {
+		k.RunFor(repro.Millisecond)
+	}
+
+	disk := repro.NewLocalDisk("disk0")
+	tk, err := repro.Checkpoint(m, k, p, disk)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("checkpointed at iteration %d (%s)\n", tk.Img.Threads[0].Regs.PC, tk.Img.Mode)
+
+	k.Exit(p, 137) // failure
+	k.Procs.Remove(p.PID)
+
+	chain, _ := repro.LoadChain(disk, tk.Img.ObjectName())
+	p2, _ := m.Restart(k, chain, true)
+	k.RunUntilExit(p2, k.Now().Add(repro.Minute))
+	fmt.Printf("restart reproduces the reference result: %v\n", repro.Fingerprint(p2) == want)
+	// Output:
+	// checkpointed at iteration 6 (full)
+	// restart reproduces the reference result: true
+}

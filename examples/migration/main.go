@@ -1,0 +1,74 @@
+// Process migration with ZAP pods: a process holding kernel-persistent
+// state (a socket, a shared-memory segment, and its own PID stored in
+// memory) migrates between cluster nodes. The pod virtualizes those
+// resources so the process notices nothing — the §3 argument for
+// system-level virtualization, live.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/mechanism"
+	"repro/internal/simos/proc"
+)
+
+func main() {
+	app := repro.ResourceUser{MiB: 8, Iterations: 3000, UseSocket: true, UseShm: true, CheckPID: true}
+
+	reg := repro.NewRegistry()
+	// ZAP wraps the program in a pod shim (syscall interception); the
+	// wrapped binary must exist on every node.
+	podded := repro.NewZAP().Prepare(app)
+	reg.MustRegister(podded)
+
+	c := repro.NewCluster(3, 42, reg)
+	pool := cluster.NewMechPool(c, func() mechanism.Mechanism { return repro.NewZAP() })
+	// Install the pod runtime on every node up front, so the migrating
+	// process's (preserved) PID never collides with a late-spawned
+	// checkpoint kernel thread.
+	for i := range c.Nodes() {
+		if _, err := pool.For(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	src := c.Node(0)
+	p, err := src.K.Spawn(podded.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pid %d running in a pod on %s (socket + shm + pid checks every 8 iterations)\n",
+		p.PID, src.Name)
+
+	c.RunUntil(func() bool { return p.Regs().PC >= 500 }, repro.Minute)
+	fmt.Printf("t=%v: iteration %d — migrating %s → %s\n", c.Now(), p.Regs().PC, src.Name, c.Node(1).Name)
+
+	p2, err := cluster.Migrate(c, pool, 0, 1, p.PID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v: now pid %d on %s (PID preserved: %v)\n", c.Now(), p2.PID, c.Node(1).Name, p2.PID == p.PID)
+
+	c.RunUntil(func() bool { return p2.Regs().PC >= 1500 }, repro.Minute)
+	fmt.Printf("t=%v: iteration %d — migrating again %s → %s\n", c.Now(), p2.Regs().PC, c.Node(1).Name, c.Node(2).Name)
+	p3, err := cluster.Migrate(c, pool, 1, 2, p2.PID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !c.RunUntil(func() bool { return p3.State == proc.StateZombie }, repro.Minute) {
+		log.Fatal("migrated process did not finish")
+	}
+	switch p3.ExitCode {
+	case 0:
+		fmt.Printf("t=%v: finished on %s with exit 0 — the process never noticed its two migrations\n",
+			c.Now(), c.Node(2).Name)
+	default:
+		log.Fatalf("process detected the migration: exit %d", p3.ExitCode)
+	}
+	fmt.Printf("result fingerprint: %#016x\n", repro.Fingerprint(p3))
+}

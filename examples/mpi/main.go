@@ -1,0 +1,84 @@
+// Coordinated checkpointing of a parallel job (LAM/MPI [32], CoCheck
+// [28]): 8 halo-ring ranks on 4 nodes checkpoint through per-node BLCR,
+// coordinated at a drained iteration boundary. A node then fails and the
+// whole job restarts — the failed node's ranks on a spare — reproducing
+// the reference result exactly.
+//
+//	go run ./examples/mpi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/checkpoint"
+)
+
+func main() {
+	const nRanks, iters = 8, 120
+
+	// Reference run: the fingerprints an undisturbed job produces.
+	ref := buildJob(nRanks, iters)
+	if !ref.RunUntilDone(10 * repro.Minute) {
+		log.Fatal("reference job stuck")
+	}
+	want, _ := ref.Fingerprints()
+
+	// The real run.
+	j := buildJob(nRanks, iters)
+	c := j.C
+	c.RunFor(5 * repro.Millisecond)
+
+	var imgs []*checkpoint.Image
+	if err := j.RequestCheckpoint(c.Node(0).Remote(), func(got []*checkpoint.Image) { imgs = got }); err != nil {
+		log.Fatal(err)
+	}
+	if err := j.WaitCheckpoint(repro.Minute); err != nil {
+		log.Fatal(err)
+	}
+	var total int
+	for _, img := range imgs {
+		total += img.PayloadBytes()
+	}
+	fmt.Printf("t=%v: coordinated checkpoint of %d ranks — drained in %v, %0.1f MB total, all at iteration %d\n",
+		c.Now(), nRanks, j.LastDrainTime, float64(total)/1e6, imgs[0].Threads[0].Regs.PC)
+
+	c.RunFor(3 * repro.Millisecond)
+	fmt.Printf("t=%v: node0 fails (fail-stop)\n", c.Now())
+	c.Fail(0)
+
+	// Every node hosts two ranks; pack node0's onto node3.
+	assign := make([]int, nRanks)
+	for r := 0; r < nRanks; r++ {
+		n := r % 4
+		if n == 0 {
+			n = 3
+		}
+		assign[r] = n
+	}
+	if err := j.Restart(imgs, assign); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v: job restarted from the checkpoint (node0's ranks now on node3)\n", c.Now())
+
+	if !j.RunUntilDone(10 * repro.Minute) {
+		log.Fatal("restarted job stuck")
+	}
+	got, _ := j.Fingerprints()
+	for r := range want {
+		if got[r] != want[r] {
+			log.Fatalf("rank %d fingerprint mismatch", r)
+		}
+	}
+	fmt.Printf("t=%v: all %d ranks finished; fingerprints match the reference run exactly\n", c.Now(), nRanks)
+}
+
+func buildJob(nRanks int, iters uint64) *repro.ParallelJob {
+	c := repro.NewCluster(4, 21, repro.NewRegistry())
+	j := repro.NewParallelJob(c, nRanks)
+	if err := j.Launch(repro.HaloRing{MiB: 2, Iterations: iters, PagesPerIter: 32, HaloBytes: 8192}); err != nil {
+		log.Fatal(err)
+	}
+	return j
+}

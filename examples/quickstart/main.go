@@ -1,0 +1,71 @@
+// Quickstart: boot a simulated machine, run a scientific workload,
+// checkpoint it with CRAK (kernel module + kernel thread + /dev ioctl),
+// kill the process, and restart it bit-exactly from the image.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 32 MiB stencil code, the kind of iterative scientific kernel the
+	// paper's introduction motivates.
+	app := repro.Stencil{MiB: 32}
+	reg := repro.NewRegistry()
+	reg.MustRegister(app)
+	k := repro.NewMachine("node0", reg)
+
+	// Load the CRAK kernel module; it spawns the checkpoint kernel thread
+	// and registers /dev/crak.
+	m := repro.NewCRAK()
+	if err := m.Install(k); err != nil {
+		log.Fatal(err)
+	}
+
+	p, err := k.Spawn(app.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	repro.SetIterations(p, 12)
+	fmt.Printf("spawned pid %d running %s\n", p.PID, app.Name())
+
+	// Run to the middle of the job.
+	for p.Regs().PC < 6 {
+		k.RunFor(repro.Millisecond)
+	}
+	fmt.Printf("t=%v: iteration %d — requesting checkpoint via ioctl(/dev/crak)\n", k.Now(), p.Regs().PC)
+
+	disk := repro.NewLocalDisk("disk0")
+	tk, err := repro.Checkpoint(m, k, p, disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v: image %s — %.1f MB in %v (thread woke after %v)\n",
+		k.Now(), tk.Img.ObjectName(), float64(tk.Stats.PayloadBytes)/1e6, tk.Total(), tk.InitiationDelay())
+
+	// Disaster strikes.
+	k.Exit(p, 137)
+	k.Procs.Remove(p.PID)
+	fmt.Printf("t=%v: pid %d killed\n", k.Now(), p.PID)
+
+	// cr_restart: load the chain and resume.
+	chain, err := repro.LoadChain(disk, tk.Img.ObjectName())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := m.Restart(k, chain, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !k.RunUntilExit(p2, k.Now().Add(repro.Minute)) {
+		log.Fatal("restarted process did not finish")
+	}
+	fmt.Printf("t=%v: pid %d resumed from iteration %d and finished with exit %d\n",
+		k.Now(), p2.PID, chain[len(chain)-1].Threads[0].Regs.PC, p2.ExitCode)
+	fmt.Printf("result fingerprint: %#016x\n", repro.Fingerprint(p2))
+}

@@ -1,0 +1,219 @@
+package checkpoint
+
+import (
+	"repro/internal/simos/fs"
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+	"repro/internal/simos/sig"
+	"repro/internal/simtime"
+)
+
+// Accessor abstracts how process state is extracted. The two
+// implementations embody the paper's central contrast:
+//
+//   - KernelAccessor reads the kernel's own data structures directly
+//     ("in kernel space every data structure relevant to a process's state
+//     is readily accessible", §4.1);
+//   - UserAccessor extracts the same information through system calls
+//     (sbrk(0), lseek, sigpending, /proc/self/maps), paying the
+//     user↔kernel crossing for every item (§3), and simply cannot reach
+//     kernel-persistent state (sockets, shm, deleted-file inodes).
+type Accessor interface {
+	// Source labels the accessor for stats ("kernel" or "syscall").
+	Source() string
+	// Process returns the target process.
+	Process() *proc.Process
+	// Threads captures all thread register files.
+	Threads() []ThreadRecord
+	// Brk returns the heap break.
+	Brk() mem.Addr
+	// VMAs returns the target's memory map.
+	VMAs() []*mem.VMA
+	// ReadRange copies memory contents into buf.
+	ReadRange(addr mem.Addr, buf []byte) error
+	// FDs captures the descriptor table.
+	FDs() []FDRecord
+	// SignalState captures dispositions, pending, and blocked sets, plus
+	// live handler pointers for same-simulation restores.
+	SignalState() (disps []SigDispRecord, pending, blocked []sig.Signal, handlers map[sig.Signal]*sig.Handler)
+	// KernelState reports whether sockets/shm/deleted-inodes are reachable.
+	KernelState() bool
+}
+
+func signalRecords(st *sig.State) (disps []SigDispRecord, handlers map[sig.Signal]*sig.Handler) {
+	handlers = make(map[sig.Signal]*sig.Handler)
+	for _, h := range st.Handlers() {
+		disps = append(disps, SigDispRecord{
+			Sig:          h.Sig,
+			Kind:         DispHandler,
+			HandlerName:  h.H.Name,
+			NonReentrant: h.H.UsesNonReentrant,
+		})
+		handlers[h.Sig] = h.H
+	}
+	return disps, handlers
+}
+
+// KernelAccessor extracts state with direct kernel access, charging only
+// per-page walk and memcpy costs.
+type KernelAccessor struct {
+	K *kernel.Kernel
+	P *proc.Process
+}
+
+// Source implements Accessor.
+func (a *KernelAccessor) Source() string { return "kernel" }
+
+// Process implements Accessor.
+func (a *KernelAccessor) Process() *proc.Process { return a.P }
+
+// Threads implements Accessor.
+func (a *KernelAccessor) Threads() []ThreadRecord {
+	out := make([]ThreadRecord, 0, len(a.P.Threads))
+	for _, t := range a.P.Threads {
+		out = append(out, ThreadRecord{TID: t.TID, Regs: t.Regs})
+	}
+	return out
+}
+
+// Brk implements Accessor.
+func (a *KernelAccessor) Brk() mem.Addr { return a.P.AS.Brk() }
+
+// VMAs implements Accessor.
+func (a *KernelAccessor) VMAs() []*mem.VMA {
+	vmas := a.P.AS.VMAs()
+	a.K.Charge(simtime.Duration(len(vmas))*a.K.CM.MemTouchPerPage, "walk-vmas")
+	return vmas
+}
+
+// ReadRange implements Accessor. The kernel reads through the page tables
+// directly; it must have the right address space loaded (TLB accounting).
+func (a *KernelAccessor) ReadRange(addr mem.Addr, buf []byte) error {
+	a.K.EnsureAS(a.P)
+	a.K.Charge(a.K.CM.MemCopy(len(buf)), "kcopy")
+	return a.P.AS.ReadDirect(addr, buf)
+}
+
+// FDs implements Accessor: the kernel reaches the inode of deleted files,
+// so their contents travel with the image (UCLiK).
+func (a *KernelAccessor) FDs() []FDRecord {
+	var out []FDRecord
+	for _, fi := range a.P.FDs() {
+		rec := FDRecord{FD: fi.FD, Path: fi.Path, Flags: fi.Flags, Offset: fi.Offset, Deleted: fi.Deleted}
+		if fi.Deleted {
+			if of, err := a.P.FD(fi.FD); err == nil && of.Node.Kind == fs.KindRegular {
+				rec.Contents = of.Node.Inode().Snapshot()
+				a.K.Charge(a.K.CM.MemCopy(len(rec.Contents)), "kcopy")
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// SignalState implements Accessor.
+func (a *KernelAccessor) SignalState() ([]SigDispRecord, []sig.Signal, []sig.Signal, map[sig.Signal]*sig.Handler) {
+	disps, handlers := signalRecords(a.P.Sig)
+	return disps, a.P.Sig.Pending(), a.P.Sig.BlockedSet(), handlers
+}
+
+// KernelState implements Accessor.
+func (a *KernelAccessor) KernelState() bool { return true }
+
+// UserAccessor extracts state from inside the process, through system
+// calls only. It can only run in the context of the checkpointed process
+// itself (a signal handler or a library call), which is why user-level
+// mechanisms are structured that way.
+type UserAccessor struct {
+	Ctx *kernel.Context
+}
+
+// Source implements Accessor.
+func (a *UserAccessor) Source() string { return "syscall" }
+
+// Process implements Accessor.
+func (a *UserAccessor) Process() *proc.Process { return a.Ctx.P }
+
+// Threads implements Accessor: a user-level checkpointer walks its own
+// thread list (libtckpt), paying a syscall per thread to collect contexts.
+func (a *UserAccessor) Threads() []ThreadRecord {
+	out := make([]ThreadRecord, 0, len(a.Ctx.P.Threads))
+	for _, t := range a.Ctx.P.Threads {
+		a.Ctx.Yield() // getcontext-class call per thread
+		out = append(out, ThreadRecord{TID: t.TID, Regs: t.Regs})
+	}
+	return out
+}
+
+// Brk implements Accessor via sbrk(0).
+func (a *UserAccessor) Brk() mem.Addr {
+	b, _ := a.Ctx.Sbrk(0)
+	return b
+}
+
+// VMAs implements Accessor by parsing /proc/self/maps.
+func (a *UserAccessor) VMAs() []*mem.VMA { return a.Ctx.Maps() }
+
+// ReadRange implements Accessor: the process reads its own memory (no
+// kernel crossing, but ordinary protection applies).
+func (a *UserAccessor) ReadRange(addr mem.Addr, buf []byte) error {
+	return a.Ctx.Load(addr, buf)
+}
+
+// FDs implements Accessor: one lseek per descriptor; deleted-file contents
+// are unreachable from user level.
+func (a *UserAccessor) FDs() []FDRecord {
+	var out []FDRecord
+	for _, fi := range a.Ctx.P.FDs() {
+		if _, err := a.Ctx.SeekCur(fi.FD); err != nil {
+			continue
+		}
+		out = append(out, FDRecord{FD: fi.FD, Path: fi.Path, Flags: fi.Flags, Offset: fi.Offset, Deleted: fi.Deleted})
+	}
+	return out
+}
+
+// SignalState implements Accessor: sigpending() for the pending set and
+// one sigaction query per handler.
+func (a *UserAccessor) SignalState() ([]SigDispRecord, []sig.Signal, []sig.Signal, map[sig.Signal]*sig.Handler) {
+	pending := a.Ctx.SigPending()
+	disps, handlers := signalRecords(a.Ctx.P.Sig)
+	for range disps {
+		a.Ctx.Yield() // sigaction query per installed handler
+	}
+	return disps, pending, a.Ctx.P.Sig.BlockedSet(), handlers
+}
+
+// KernelState implements Accessor: user level cannot reach it (§3).
+func (a *UserAccessor) KernelState() bool { return false }
+
+// CaptureKernelExtras records sockets and shared memory into img; only
+// meaningful for accessors with kernel access and mechanisms that
+// virtualize (ZAP).
+func CaptureKernelExtras(k *kernel.Kernel, p *proc.Process, img *Image) {
+	for _, s := range k.Sockets(p.PID) {
+		img.Sockets = append(img.Sockets, SocketRecord{ID: s.ID, Peer: s.Peer})
+	}
+	for _, v := range p.AS.VMAs() {
+		if v.Kind != mem.KindShared {
+			continue
+		}
+		key := v.Name
+		if len(key) > 4 && key[:4] == "shm:" {
+			key = key[4:]
+		}
+		if data, ok := k.ShmData(key); ok {
+			if img.Shm == nil {
+				img.Shm = make(map[string][]byte)
+			}
+			img.Shm[key] = data
+		}
+	}
+}
+
+// ensure interface compliance
+var (
+	_ Accessor = (*KernelAccessor)(nil)
+	_ Accessor = (*UserAccessor)(nil)
+)

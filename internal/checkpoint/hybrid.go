@@ -1,0 +1,209 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+	"repro/internal/simos/sig"
+)
+
+// HybridTracker composes the two incremental techniques the paper
+// discusses: kernel write-protection finds the dirty *pages* at one fault
+// per first touch (§4.1), and block hashing then narrows each dirty page
+// to its changed sub-page *blocks* (§3, [23]). Compared to a pure hash
+// tracker it only hashes dirty pages (not the whole resident set);
+// compared to a pure page tracker it ships less data for small scattered
+// writes. This is the combination the adaptive scheme of [1] builds on.
+type HybridTracker struct {
+	K         *kernel.Kernel
+	P         *proc.Process
+	Bill      costmodel.Biller
+	BlockSize int
+
+	page      *KernelWPTracker
+	prevHash  map[mem.Addr]uint64
+	stats     TrackerStats
+	armed     bool
+	firstDone bool
+}
+
+// NewHybridTracker builds a hybrid tracker with the given sub-page block
+// size.
+func NewHybridTracker(k *kernel.Kernel, p *proc.Process, bill costmodel.Biller, blockSize int) (*HybridTracker, error) {
+	if blockSize <= 0 || blockSize > mem.PageSize || mem.PageSize%blockSize != 0 {
+		return nil, fmt.Errorf("checkpoint: hybrid block size %d must divide the page size", blockSize)
+	}
+	return &HybridTracker{
+		K: k, P: p, Bill: bill, BlockSize: blockSize,
+		page:     NewKernelWPTracker(k, p),
+		prevHash: make(map[mem.Addr]uint64),
+	}, nil
+}
+
+// Name implements Tracker.
+func (t *HybridTracker) Name() string { return fmt.Sprintf("hybrid-%dB", t.BlockSize) }
+
+// Granularity implements Tracker.
+func (t *HybridTracker) Granularity() int { return t.BlockSize }
+
+// Arm implements Tracker.
+func (t *HybridTracker) Arm() error {
+	if err := t.page.Arm(); err != nil {
+		return err
+	}
+	t.armed = true
+	return nil
+}
+
+// hashPage hashes one page's blocks into out, charging the hash cost.
+func (t *HybridTracker) hashPage(base mem.Addr, out map[mem.Addr]uint64) error {
+	buf := make([]byte, t.BlockSize)
+	for off := 0; off < mem.PageSize; off += t.BlockSize {
+		if err := t.P.AS.ReadDirect(base+mem.Addr(off), buf); err != nil {
+			return err
+		}
+		h := fnv.New64a()
+		h.Write(buf)
+		out[base+mem.Addr(off)] = h.Sum64()
+	}
+	t.stats.HashedBytes += mem.PageSize
+	t.Bill.Charge(t.K.CM.Hash(mem.PageSize), "hybrid-hash")
+	return nil
+}
+
+// Collect implements Tracker: take the page tracker's dirty set, hash
+// only those pages, and report the blocks whose hashes changed. Blocks of
+// pages never seen before report in full.
+func (t *HybridTracker) Collect() ([]Range, error) {
+	if !t.armed {
+		return nil, fmt.Errorf("checkpoint: %s: Collect before Arm", t.Name())
+	}
+	pageRanges, err := t.page.Collect()
+	if err != nil {
+		return nil, err
+	}
+	var out []Range
+	for _, pr := range pageRanges {
+		for off := 0; off < pr.Length; off += mem.PageSize {
+			base := pr.Addr + mem.Addr(off)
+			cur := make(map[mem.Addr]uint64, mem.PageSize/t.BlockSize)
+			if err := t.hashPage(base, cur); err != nil {
+				return nil, err
+			}
+			for a := base; a < base+mem.PageSize; a += mem.Addr(t.BlockSize) {
+				h := cur[a]
+				if ph, seen := t.prevHash[a]; !t.firstDone || !seen || ph != h {
+					if n := len(out); n > 0 && out[n-1].Addr+mem.Addr(out[n-1].Length) == a {
+						out[n-1].Length += t.BlockSize
+					} else {
+						out = append(out, Range{Addr: a, Length: t.BlockSize})
+					}
+				}
+				t.prevHash[a] = h
+			}
+		}
+	}
+	t.firstDone = true
+	return out, nil
+}
+
+// Stats implements Tracker, merging the page tracker's fault counters
+// with the hashing counters.
+func (t *HybridTracker) Stats() TrackerStats {
+	s := t.page.Stats()
+	s.HashedBytes += t.stats.HashedBytes
+	return s
+}
+
+// Close implements Tracker.
+func (t *HybridTracker) Close() {
+	t.page.Close()
+	t.prevHash = nil
+	t.armed = false
+}
+
+var _ Tracker = (*HybridTracker)(nil)
+
+// Coalesce merges a verified restore chain into a single equivalent full
+// image: the leaf's metadata with the union of all extents, later deltas
+// overwriting earlier data. Mechanisms use it to bound chain length (and
+// so restart latency) without losing any state — restoring the coalesced
+// image is equivalent to restoring the chain.
+func Coalesce(chain []*Image) (*Image, error) {
+	if err := VerifyChain(chain); err != nil {
+		return nil, err
+	}
+	leaf := chain[len(chain)-1]
+
+	// Materialize the chain into a scratch address space, replaying
+	// extents oldest-first.
+	as := mem.NewAddressSpace()
+	for _, v := range leaf.VMAs {
+		if _, err := as.Map(v.Start, v.Length, mem.ProtRW, v.Kind, v.Name); err != nil {
+			return nil, fmt.Errorf("checkpoint: coalesce map: %w", err)
+		}
+	}
+	for _, img := range chain {
+		for _, v := range img.VMAs {
+			for _, e := range v.Extents {
+				if as.Find(e.Addr) == nil {
+					continue // region unmapped by the time of the leaf
+				}
+				if err := as.WriteDirect(e.Addr, e.Data); err != nil {
+					return nil, fmt.Errorf("checkpoint: coalesce write: %w", err)
+				}
+			}
+		}
+	}
+
+	out := &Image{
+		Mechanism:  leaf.Mechanism,
+		Hostname:   leaf.Hostname,
+		TakenAt:    leaf.TakenAt,
+		Seq:        leaf.Seq,
+		Parent:     "",
+		Mode:       ModeFull,
+		PID:        leaf.PID,
+		PPID:       leaf.PPID,
+		VPID:       leaf.VPID,
+		Exe:        leaf.Exe,
+		Args:       append([]string(nil), leaf.Args...),
+		Brk:        leaf.Brk,
+		Threads:    append([]ThreadRecord(nil), leaf.Threads...),
+		FDs:        append([]FDRecord(nil), leaf.FDs...),
+		SigDisps:   append([]SigDispRecord(nil), leaf.SigDisps...),
+		SigPending: append([]sig.Signal(nil), leaf.SigPending...),
+		SigBlocked: append([]sig.Signal(nil), leaf.SigBlocked...),
+		Sockets:    append([]SocketRecord(nil), leaf.Sockets...),
+		handlers:   leaf.handlers,
+	}
+	if leaf.Shm != nil {
+		out.Shm = make(map[string][]byte, len(leaf.Shm))
+		for k, v := range leaf.Shm {
+			out.Shm[k] = append([]byte(nil), v...)
+		}
+	}
+	for _, v := range leaf.VMAs {
+		sec := VMASection{Start: v.Start, Length: v.Length, Kind: v.Kind, Name: v.Name, Prot: v.Prot}
+		vma := as.Find(v.Start)
+		var pages []mem.PageNum
+		for _, pi := range as.ResidentPages() {
+			if pi.VMA == vma && pi.Page.Data() != nil {
+				pages = append(pages, pi.Num)
+			}
+		}
+		for _, r := range pagesToRanges(pages) {
+			data := make([]byte, r.Length)
+			if err := as.ReadDirect(r.Addr, data); err != nil {
+				return nil, err
+			}
+			sec.Extents = append(sec.Extents, Extent{Addr: r.Addr, Data: data})
+		}
+		out.VMAs = append(out.VMAs, sec)
+	}
+	return out, nil
+}

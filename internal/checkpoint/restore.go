@@ -1,0 +1,259 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/fs"
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+	"repro/internal/simos/sig"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// RestoreOptions tune the restore engine. The defaults reproduce the weak
+// baseline most surveyed mechanisms share (new PID, no kernel-state
+// virtualization); the flags correspond to the extra capabilities UCLiK
+// (PreservePID, deleted-file recovery) and ZAP (kernel-state recreation)
+// advertise.
+type RestoreOptions struct {
+	// PreservePID reinstates the original PID (UCLiK). Fails if taken.
+	PreservePID bool
+	// VirtualizePID gives the restored process a fresh real PID but sets
+	// its pod-virtual PID to the checkpointed identity, so getpid() is
+	// stable without any claim on the real PID space — ZAP's pod design,
+	// which never collides. Ignored when PreservePID is set.
+	VirtualizePID bool
+	// RecreateKernelState restores sockets and shared-memory segments
+	// from the image (ZAP pods).
+	RecreateKernelState bool
+	// RestoreDeletedFiles recreates unlinked files from image contents
+	// (UCLiK); without it, a descriptor to a deleted file fails restore.
+	RestoreDeletedFiles bool
+	// Handlers resolves handler names after a Decode (cross-simulation
+	// restore); live handler maps on the image take precedence.
+	Handlers map[string]*sig.Handler
+	// Enqueue makes the restored process runnable immediately.
+	Enqueue bool
+	// Env, when non-nil, is billed for the restore work (memory copies);
+	// reading the images from storage is charged separately by LoadChain.
+	Env *storage.Env
+}
+
+// ErrNeedsChain is returned when restoring an incremental image without
+// its ancestors.
+var ErrNeedsChain = errors.New("checkpoint: incremental image requires its parent chain")
+
+// LoadChain reads the image named leaf from the target and follows Parent
+// links until a full image, returning the chain oldest-first.
+func LoadChain(t storage.Target, env *storage.Env, leaf string) ([]*Image, error) {
+	if env == nil {
+		env = storage.NopEnv()
+	}
+	var rev []*Image
+	name := leaf
+	for name != "" {
+		data, err := t.ReadObject(name, env)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: load %s: %w", name, err)
+		}
+		img, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: decode %s: %w", name, err)
+		}
+		rev = append(rev, img)
+		if img.Mode == ModeFull {
+			break
+		}
+		name = img.Parent
+	}
+	last := rev[len(rev)-1]
+	if last.Mode != ModeFull {
+		return nil, fmt.Errorf("%w: chain head %s is %s", ErrNeedsChain, last.ObjectName(), last.Mode)
+	}
+	// Reverse to oldest-first.
+	out := make([]*Image, len(rev))
+	for i, img := range rev {
+		out[len(rev)-1-i] = img
+	}
+	if err := VerifyChain(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Restore rebuilds a process on k from an image chain (oldest-first; a
+// single full image is a chain of one). The most recent image defines the
+// memory layout, registers, descriptors and signal state; extents are
+// applied oldest-first so later deltas overwrite earlier data.
+func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Process, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("checkpoint: empty image chain")
+	}
+	if chain[0].Mode != ModeFull {
+		return nil, ErrNeedsChain
+	}
+	leaf := chain[len(chain)-1]
+	for i := 1; i < len(chain); i++ {
+		if chain[i].Parent != chain[i-1].ObjectName() {
+			return nil, fmt.Errorf("checkpoint: broken chain at %s (parent %q, want %q)",
+				chain[i].ObjectName(), chain[i].Parent, chain[i-1].ObjectName())
+		}
+	}
+
+	// The program must exist on the target machine.
+	if _, err := k.Registry.Lookup(leaf.Exe); err != nil {
+		return nil, fmt.Errorf("checkpoint: restore: %w", err)
+	}
+
+	var p *proc.Process
+	switch {
+	case opt.PreservePID:
+		p = proc.New(leaf.PID, leaf.PPID, leaf.Exe)
+		if err := k.Procs.Insert(p); err != nil {
+			return nil, fmt.Errorf("checkpoint: restore with original pid: %w", err)
+		}
+	case opt.VirtualizePID:
+		p = k.Procs.Allocate(leaf.PPID, leaf.Exe)
+		p.VPID = leaf.PID
+		if leaf.VPID != 0 {
+			p.VPID = leaf.VPID
+		}
+	default:
+		p = k.Procs.Allocate(leaf.PPID, leaf.Exe)
+	}
+	p.Args = append([]string(nil), leaf.Args...)
+
+	cleanup := func() { k.Procs.Remove(p.PID) }
+
+	// Memory layout from the leaf image. A tracker may have left data
+	// regions write-protected at capture time; the restored process gets
+	// the region's natural protection back.
+	for _, v := range leaf.VMAs {
+		prot := v.Prot
+		if v.Kind != mem.KindText {
+			prot |= mem.ProtRW
+		}
+		if _, err := p.AS.Map(v.Start, v.Length, prot, v.Kind, v.Name); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("checkpoint: restore map: %w", err)
+		}
+	}
+	// Contents oldest-first. Extents of VMAs that no longer exist in the
+	// leaf layout (unmapped since) are skipped.
+	copied := 0
+	for _, img := range chain {
+		for _, v := range img.VMAs {
+			for _, e := range v.Extents {
+				if p.AS.Find(e.Addr) == nil {
+					continue
+				}
+				if err := p.AS.WriteDirect(e.Addr, e.Data); err != nil {
+					cleanup()
+					return nil, fmt.Errorf("checkpoint: restore extent %#x: %w", uint64(e.Addr), err)
+				}
+				copied += len(e.Data)
+			}
+		}
+	}
+	// Copying the image back into memory costs real time on the target
+	// machine: bill the provided Env, or the kernel itself by default.
+	var bill costmodel.Biller = k
+	if opt.Env != nil && opt.Env.Bill != nil {
+		bill = opt.Env.Bill
+	}
+	bill.Charge(simtime.Duration(float64(copied)/1.2e9*float64(simtime.Second)), "restore-copy")
+	if leaf.Brk != 0 {
+		if err := p.AS.SetBrk(leaf.Brk); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("checkpoint: restore brk: %w", err)
+		}
+	}
+
+	// Threads and registers.
+	p.Threads = nil
+	for _, t := range leaf.Threads {
+		p.Threads = append(p.Threads, &proc.Thread{TID: t.TID, Regs: t.Regs})
+	}
+	if len(p.Threads) == 0 {
+		cleanup()
+		return nil, errors.New("checkpoint: image has no threads")
+	}
+
+	// Kernel-persistent state first, so descriptor and segment recreation
+	// can rely on it.
+	if opt.RecreateKernelState {
+		for _, s := range leaf.Sockets {
+			if err := k.RecreateSocket(s.ID, p.PID, s.Peer); err != nil {
+				cleanup()
+				return nil, fmt.Errorf("checkpoint: restore socket: %w", err)
+			}
+		}
+		for key, data := range leaf.Shm {
+			k.RecreateShm(key, data)
+		}
+	}
+
+	// Descriptors.
+	for _, f := range leaf.FDs {
+		if f.Deleted {
+			if !opt.RestoreDeletedFiles || f.Contents == nil {
+				cleanup()
+				return nil, fmt.Errorf("checkpoint: fd %d refers to deleted %s and contents are not available", f.FD, f.Path)
+			}
+			k.FS.WriteFile(f.Path, f.Contents)
+		}
+		of, err := k.FS.Open(f.Path, f.Flags&^fs.OAppend)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("checkpoint: restore fd %d: %w", f.FD, err)
+		}
+		if err := of.SeekTo(f.Offset); err != nil {
+			cleanup()
+			return nil, err
+		}
+		p.InstallFDAt(f.FD, of)
+	}
+
+	// Signal state.
+	for _, d := range leaf.SigDisps {
+		switch d.Kind {
+		case DispIgnore:
+			if err := p.Sig.Ignore(d.Sig); err != nil {
+				cleanup()
+				return nil, err
+			}
+		case DispHandler:
+			h := leaf.handlers[d.Sig]
+			if h == nil && opt.Handlers != nil {
+				h = opt.Handlers[d.HandlerName]
+			}
+			if h == nil {
+				// Handler code not present on this machine: disposition
+				// falls back to default, as a real restart of a process
+				// whose library is missing would fail later.
+				continue
+			}
+			if err := p.Sig.SetHandler(d.Sig, h); err != nil {
+				cleanup()
+				return nil, err
+			}
+		}
+	}
+	for _, s := range leaf.SigPending {
+		p.Sig.Raise(s)
+	}
+	for _, s := range leaf.SigBlocked {
+		p.Sig.Block(s)
+	}
+
+	p.State = proc.StateStopped
+	if opt.Enqueue {
+		p.State = proc.StateReady
+		k.Sched.Enqueue(p)
+	}
+	return p, nil
+}

@@ -1,0 +1,438 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/fs"
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/proc"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// newMachine builds a kernel with the standard workloads registered.
+func newMachine(name string, progs ...kernel.Program) *kernel.Kernel {
+	reg := kernel.NewRegistry()
+	for _, p := range progs {
+		reg.MustRegister(p)
+	}
+	return kernel.New(kernel.DefaultConfig(name), costmodel.Default2005(), reg)
+}
+
+// referenceRun executes a workload to completion and returns its final
+// fingerprint.
+func referenceRun(t *testing.T, prog kernel.Program, iters uint64) uint64 {
+	t.Helper()
+	k := newMachine("ref", prog)
+	p, err := k.Spawn(prog.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.SetIterations(p, iters)
+	if !k.RunUntilExit(p, k.Now().Add(10*simtime.Minute)) {
+		t.Fatalf("reference run did not finish (pc=%d)", p.Regs().PC)
+	}
+	if p.ExitCode != 0 {
+		t.Fatalf("reference run exit %d", p.ExitCode)
+	}
+	return workload.Fingerprint(p)
+}
+
+// captureAt runs prog on a fresh kernel until roughly the given progress,
+// captures a full image with a kernel accessor, and returns it.
+func captureAt(t *testing.T, prog kernel.Program, iters uint64, storeTo storage.Target) (*kernel.Kernel, *proc.Process, *Image) {
+	t.Helper()
+	k := newMachine("src", prog)
+	p, err := k.Spawn(prog.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.SetIterations(p, iters)
+	// Run to somewhere in the middle.
+	for p.Regs().PC < iters/2 && p.State != proc.StateZombie {
+		k.RunFor(simtime.Millisecond)
+	}
+	if p.State == proc.StateZombie {
+		t.Fatal("workload finished before capture")
+	}
+	k.Stop(p) // consistency: stop the app (§4.1)
+	img, _, err := Capture(Request{
+		Acc:       &KernelAccessor{K: k, P: p},
+		Target:    storeTo,
+		Mechanism: "test",
+		Hostname:  "src",
+		Seq:       1,
+		Now:       k.Now(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p, img
+}
+
+func TestRestartEquivalenceSameKernel(t *testing.T) {
+	prog := workload.Dense{MiB: 2}
+	const iters = 6
+	want := referenceRun(t, prog, iters)
+
+	k, orig, img := captureAt(t, prog, iters, nil)
+	// Kill the original (failure), restore, run to completion.
+	k.Exit(orig, 137)
+	p2, err := Restore(k, []*Image{img}, RestoreOptions{Enqueue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.PID == orig.PID {
+		t.Fatal("restore without PreservePID reused the PID")
+	}
+	if !k.RunUntilExit(p2, k.Now().Add(10*simtime.Minute)) {
+		t.Fatal("restored process did not finish")
+	}
+	if got := workload.Fingerprint(p2); got != want {
+		t.Fatalf("restored fingerprint %#x != reference %#x", got, want)
+	}
+}
+
+func TestRestartEquivalenceAcrossMachines(t *testing.T) {
+	for _, prog := range []kernel.Program{
+		workload.Dense{MiB: 1},
+		workload.Sparse{MiB: 2, WriteFrac: 0.2, Seed: 11},
+		workload.Stencil{MiB: 2},
+		workload.Phased{MiB: 1, Seed: 3},
+	} {
+		prog := prog
+		t.Run(prog.Name(), func(t *testing.T) {
+			const iters = 6
+			want := referenceRun(t, prog, iters)
+			_, _, img := captureAt(t, prog, iters, nil)
+
+			// "Migrate": restore on a different machine that has the same
+			// executable registered.
+			dst := newMachine("dst", prog)
+			p2, err := Restore(dst, []*Image{img}, RestoreOptions{Enqueue: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dst.RunUntilExit(p2, dst.Now().Add(10*simtime.Minute)) {
+				t.Fatal("migrated process did not finish")
+			}
+			if got := workload.Fingerprint(p2); got != want {
+				t.Fatalf("migrated fingerprint %#x != reference %#x", got, want)
+			}
+		})
+	}
+}
+
+func TestRestoreRequiresProgram(t *testing.T) {
+	prog := workload.Dense{MiB: 1}
+	_, _, img := captureAt(t, prog, 6, nil)
+	empty := newMachine("empty")
+	if _, err := Restore(empty, []*Image{img}, RestoreOptions{}); err == nil {
+		t.Fatal("restore without the executable succeeded")
+	}
+}
+
+func TestRestorePreservesPID(t *testing.T) {
+	prog := workload.Dense{MiB: 1}
+	_, orig, img := captureAt(t, prog, 6, nil)
+	dst := newMachine("dst", prog)
+	p2, err := Restore(dst, []*Image{img}, RestoreOptions{PreservePID: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.PID != orig.PID {
+		t.Fatalf("pid %d, want preserved %d", p2.PID, orig.PID)
+	}
+	// Restoring again with the same PID on the same machine must fail.
+	if _, err := Restore(dst, []*Image{img}, RestoreOptions{PreservePID: true}); err == nil {
+		t.Fatal("duplicate PID restore succeeded")
+	}
+}
+
+func TestIncrementalChainEquivalence(t *testing.T) {
+	prog := workload.Sparse{MiB: 2, WriteFrac: 0.15, Seed: 42}
+	const iters = 12
+	want := referenceRun(t, prog, iters)
+
+	k := newMachine("src", prog)
+	p, err := k.Spawn(prog.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.SetIterations(p, iters)
+	cm := costmodel.Default2005()
+	srv := storage.NewServer("srv", cm)
+	remote := storage.NewRemote("net", srv)
+	env := storage.NopEnv()
+
+	trk := NewKernelWPTracker(k, p)
+	if err := trk.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	defer trk.Close()
+
+	var parent string
+	var seq uint64
+	var sizes []int
+	for ckpt := 0; ckpt < 3; ckpt++ {
+		// Advance a few iterations.
+		target := p.Regs().PC + 3
+		for p.Regs().PC < target && p.State != proc.StateZombie {
+			k.RunFor(simtime.Millisecond)
+		}
+		if p.State == proc.StateZombie {
+			t.Fatal("finished early")
+		}
+		k.Stop(p)
+		seq++
+		img, st, err := Capture(Request{
+			Acc: &KernelAccessor{K: k, P: p}, Trk: trk,
+			Target: remote, Env: env,
+			Mechanism: "test", Hostname: "src", Seq: seq, Parent: parent, Now: k.Now(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent = img.ObjectName()
+		sizes = append(sizes, st.PayloadBytes)
+		k.Wake(p)
+	}
+	// First capture is full-sized; later ones are deltas and smaller.
+	if sizes[1] >= sizes[0] || sizes[2] >= sizes[0] {
+		t.Fatalf("incremental deltas not smaller: %v", sizes)
+	}
+
+	// Restore from the chain on a fresh machine.
+	chain, err := LoadChain(remote, env, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length %d", len(chain))
+	}
+	dst := newMachine("dst", prog)
+	p2, err := Restore(dst, chain, RestoreOptions{Enqueue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.RunUntilExit(p2, dst.Now().Add(10*simtime.Minute)) {
+		t.Fatal("restored process did not finish")
+	}
+	if got := workload.Fingerprint(p2); got != want {
+		t.Fatalf("chain-restored fingerprint %#x != reference %#x", got, want)
+	}
+}
+
+func TestRestoreIncrementalWithoutChainFails(t *testing.T) {
+	img := &Image{Mode: ModeIncremental, Parent: "ckpt/pid1/seq1"}
+	k := newMachine("k")
+	if _, err := Restore(k, []*Image{img}, RestoreOptions{}); err == nil {
+		t.Fatal("incremental-only restore succeeded")
+	}
+	if _, err := Restore(k, nil, RestoreOptions{}); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestBrokenChainRejected(t *testing.T) {
+	full := &Image{Mode: ModeFull, PID: 1, Seq: 1, Exe: "x"}
+	delta := &Image{Mode: ModeIncremental, PID: 1, Seq: 5, Parent: "ckpt/pid1/seq4", Exe: "x"}
+	k := newMachine("k")
+	_, err := Restore(k, []*Image{full, delta}, RestoreOptions{})
+	if err == nil || !strings.Contains(err.Error(), "broken chain") {
+		t.Fatalf("err = %v, want broken chain", err)
+	}
+}
+
+func TestDeletedFileRestore(t *testing.T) {
+	prog := workload.Dense{MiB: 1}
+	k := newMachine("src", prog)
+	p, err := k.Spawn(prog.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.SetIterations(p, 1<<20)
+	k.RunFor(simtime.Millisecond)
+	// Open a scratch file, read some of it, delete it.
+	k.FS.WriteFile("/scratch", []byte("0123456789"))
+	ctx := &kernel.Context{K: k, P: p, T: p.MainThread()}
+	fd, err := ctx.Open("/scratch", fs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	ctx.ReadFD(fd, buf)
+	k.FS.Unlink("/scratch")
+
+	k.Stop(p)
+	img, _, err := Capture(Request{
+		Acc: &KernelAccessor{K: k, P: p}, Mechanism: "uclik", Hostname: "src", Seq: 1, Now: k.Now(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newMachine("dst", prog)
+	// Without deleted-file support the restore fails outright.
+	if _, err := Restore(dst, []*Image{img}, RestoreOptions{}); err == nil {
+		t.Fatal("restore with deleted fd succeeded without RestoreDeletedFiles")
+	}
+	p2, err := Restore(dst, []*Image{img}, RestoreOptions{RestoreDeletedFiles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	of, err := p2.FD(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if of.Offset() != 4 {
+		t.Fatalf("restored offset %d, want 4", of.Offset())
+	}
+	rest := make([]byte, 6)
+	n, _ := of.Read(nil, rest)
+	if string(rest[:n]) != "456789" {
+		t.Fatalf("restored file read %q", rest[:n])
+	}
+}
+
+func TestKernelStateVirtualization(t *testing.T) {
+	prog := workload.ResourceUser{MiB: 1, Iterations: 200, UseSocket: true, UseShm: true, CheckPID: true}
+	want := referenceRun(t, prog, 200)
+
+	k := newMachine("src", prog)
+	p, err := k.Spawn(prog.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p.Regs().PC < 100 && p.State != proc.StateZombie {
+		k.RunFor(simtime.Millisecond)
+	}
+	k.Stop(p)
+	img, _, err := Capture(Request{
+		Acc: &KernelAccessor{K: k, P: p}, Mechanism: "zap", Hostname: "src", Seq: 1, Now: k.Now(),
+		KernelExtras: func(img *Image) { CaptureKernelExtras(k, p, img) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Sockets) != 1 || img.Shm == nil {
+		t.Fatalf("kernel extras not captured: %+v", img.Sockets)
+	}
+
+	// Restore on a different machine WITH virtualization: must finish OK.
+	dst := newMachine("dst", prog)
+	dst.Procs.Allocate(0, "occupant") // ensure the restored PID differs
+	p2, err := Restore(dst, []*Image{img}, RestoreOptions{
+		Enqueue:             true,
+		PreservePID:         false, // PID differs...
+		RecreateKernelState: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.RunUntilExit(p2, dst.Now().Add(10*simtime.Minute))
+	// PID changed, so the PID check fails — that is the point: full
+	// transparency additionally needs PID virtualization.
+	if p2.ExitCode != workload.ExitPIDChanged {
+		t.Fatalf("exit %d, want ExitPIDChanged without PID preservation", p2.ExitCode)
+	}
+
+	// With PID preservation too, the run completes identically.
+	dst2 := newMachine("dst2", prog)
+	p3, err := Restore(dst2, []*Image{img}, RestoreOptions{
+		Enqueue:             true,
+		PreservePID:         true,
+		RecreateKernelState: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst2.RunUntilExit(p3, dst2.Now().Add(10*simtime.Minute)) {
+		t.Fatal("virtualized restore did not finish")
+	}
+	if p3.ExitCode != workload.ExitOK {
+		t.Fatalf("exit %d, want OK", p3.ExitCode)
+	}
+	if got := workload.Fingerprint(p3); got != want {
+		t.Fatalf("fingerprint %#x != reference %#x", got, want)
+	}
+
+	// Restore WITHOUT virtualization on a third machine: socket lost.
+	dst3 := newMachine("dst3", prog)
+	p4, err := Restore(dst3, []*Image{img}, RestoreOptions{Enqueue: true, PreservePID: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst3.RunUntilExit(p4, dst3.Now().Add(10*simtime.Minute))
+	if p4.ExitCode != workload.ExitSocketLost {
+		t.Fatalf("exit %d, want ExitSocketLost", p4.ExitCode)
+	}
+}
+
+func TestMultithreadedCaptureRestore(t *testing.T) {
+	prog := workload.MultiThreaded{MiB: 1, NThreads: 3, Iterations: 40}
+	want := referenceRun(t, prog, 40)
+
+	k := newMachine("src", prog)
+	p, _ := k.Spawn(prog.Name())
+	for p.Threads[0].Regs.PC < 20 && p.State != proc.StateZombie {
+		k.RunFor(simtime.Millisecond)
+	}
+	k.Stop(p)
+	img, _, err := Capture(Request{
+		Acc: &KernelAccessor{K: k, P: p}, Mechanism: "blcr", Hostname: "src", Seq: 1, Now: k.Now(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Threads) != 3 {
+		t.Fatalf("captured %d threads", len(img.Threads))
+	}
+	dst := newMachine("dst", prog)
+	p2, err := Restore(dst, []*Image{img}, RestoreOptions{Enqueue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.RunUntilExit(p2, dst.Now().Add(10*simtime.Minute)) {
+		t.Fatal("restored MT process did not finish")
+	}
+	if got := workload.Fingerprint(p2); got != want {
+		t.Fatalf("MT fingerprint %#x != %#x", got, want)
+	}
+}
+
+func TestUserAccessorCostsMoreSyscalls(t *testing.T) {
+	prog := workload.Dense{MiB: 4}
+	k := newMachine("src", prog)
+	p, _ := k.Spawn(prog.Name())
+	workload.SetIterations(p, 1<<20)
+	k.RunFor(20 * simtime.Millisecond)
+	k.Stop(p)
+
+	before := k.SyscallCount
+	ctx := &kernel.Context{K: k, P: p, T: p.MainThread()}
+	if _, _, err := Capture(Request{
+		Acc: &UserAccessor{Ctx: ctx}, Mechanism: "libckpt", Hostname: "src", Seq: 1, Now: k.Now(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	userSyscalls := k.SyscallCount - before
+
+	before = k.SyscallCount
+	if _, _, err := Capture(Request{
+		Acc: &KernelAccessor{K: k, P: p}, Mechanism: "crak", Hostname: "src", Seq: 2, Now: k.Now(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	kernSyscalls := k.SyscallCount - before
+
+	if kernSyscalls != 0 {
+		t.Fatalf("kernel accessor used %d syscalls", kernSyscalls)
+	}
+	if userSyscalls < 3 {
+		t.Fatalf("user accessor used only %d syscalls", userSyscalls)
+	}
+}

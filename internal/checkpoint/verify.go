@@ -1,0 +1,123 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/simos/mem"
+)
+
+// ErrInvalidImage wraps all structural-verification failures.
+var ErrInvalidImage = errors.New("checkpoint: invalid image")
+
+// Verify checks an image's structural invariants without a kernel:
+// page-aligned non-overlapping VMAs, extents inside their VMA and
+// non-overlapping in address order, a valid brk, at least one thread with
+// unique TIDs, and well-formed descriptor records. Every image produced
+// by Capture satisfies Verify (a property test pins this); restore paths
+// call it before touching kernel state.
+func (img *Image) Verify() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s: %s", ErrInvalidImage, img.ObjectName(), fmt.Sprintf(format, args...))
+	}
+	if img.Exe == "" {
+		return bad("empty executable name")
+	}
+	if img.PID <= 0 {
+		return bad("pid %d", img.PID)
+	}
+	if img.Mode == ModeIncremental && img.Parent == "" {
+		return bad("incremental image without a parent")
+	}
+	if img.Mode == ModeFull && img.Parent != "" {
+		return bad("full image claims parent %q", img.Parent)
+	}
+
+	if len(img.Threads) == 0 {
+		return bad("no threads")
+	}
+	tids := make(map[int]bool, len(img.Threads))
+	for _, t := range img.Threads {
+		if tids[int(t.TID)] {
+			return bad("duplicate tid %d", t.TID)
+		}
+		tids[int(t.TID)] = true
+	}
+
+	var prevEnd mem.Addr
+	for i, v := range img.VMAs {
+		if v.Start%mem.PageSize != 0 || v.Length == 0 || v.Length%mem.PageSize != 0 {
+			return bad("vma %d (%s) unaligned: start %#x len %d", i, v.Name, uint64(v.Start), v.Length)
+		}
+		if i > 0 && v.Start < prevEnd {
+			return bad("vma %d (%s) overlaps previous (starts %#x, prev ends %#x)",
+				i, v.Name, uint64(v.Start), uint64(prevEnd))
+		}
+		prevEnd = v.Start + mem.Addr(v.Length)
+
+		var extEnd mem.Addr
+		for j, e := range v.Extents {
+			if len(e.Data) == 0 {
+				return bad("vma %d extent %d empty", i, j)
+			}
+			if e.Addr < v.Start || e.Addr+mem.Addr(len(e.Data)) > v.Start+mem.Addr(v.Length) {
+				return bad("vma %d extent %d (%#x+%d) outside region", i, j, uint64(e.Addr), len(e.Data))
+			}
+			if j > 0 && e.Addr < extEnd {
+				return bad("vma %d extent %d overlaps previous", i, j)
+			}
+			extEnd = e.Addr + mem.Addr(len(e.Data))
+		}
+	}
+
+	seenFD := make(map[int]bool, len(img.FDs))
+	for _, f := range img.FDs {
+		if f.FD < 0 {
+			return bad("negative fd %d", f.FD)
+		}
+		if seenFD[f.FD] {
+			return bad("duplicate fd %d", f.FD)
+		}
+		seenFD[f.FD] = true
+		if f.Path == "" {
+			return bad("fd %d has no path", f.FD)
+		}
+	}
+	return nil
+}
+
+// VerifyChain checks that chain is a well-formed restore chain: every
+// image passes Verify, the head is full, every later image is incremental
+// with a correct parent link, sequence numbers ascend, and all images
+// describe the same executable and PID.
+func VerifyChain(chain []*Image) error {
+	if len(chain) == 0 {
+		return fmt.Errorf("%w: empty chain", ErrInvalidImage)
+	}
+	for i, img := range chain {
+		if err := img.Verify(); err != nil {
+			return err
+		}
+		if i == 0 {
+			if img.Mode != ModeFull {
+				return fmt.Errorf("%w: chain head %s is %s", ErrInvalidImage, img.ObjectName(), img.Mode)
+			}
+			continue
+		}
+		prev := chain[i-1]
+		if img.Mode != ModeIncremental {
+			return fmt.Errorf("%w: interior image %s is %s", ErrInvalidImage, img.ObjectName(), img.Mode)
+		}
+		if img.Parent != prev.ObjectName() {
+			return fmt.Errorf("%w: %s parent %q, want %q", ErrInvalidImage, img.ObjectName(), img.Parent, prev.ObjectName())
+		}
+		if img.Seq <= prev.Seq {
+			return fmt.Errorf("%w: %s seq %d not after %d", ErrInvalidImage, img.ObjectName(), img.Seq, prev.Seq)
+		}
+		if img.Exe != prev.Exe || img.PID != prev.PID {
+			return fmt.Errorf("%w: %s describes %s/pid %d, chain is %s/pid %d",
+				ErrInvalidImage, img.ObjectName(), img.Exe, img.PID, prev.Exe, prev.PID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/mem"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func validImage() *Image {
+	return &Image{
+		Mechanism: "t", Hostname: "h", PID: 3, Exe: "app", Mode: ModeFull, Seq: 1,
+		Threads: []ThreadRecord{{TID: 1}},
+		VMAs: []VMASection{
+			{Start: 0x1000, Length: 2 * mem.PageSize, Kind: mem.KindAnon, Name: "a",
+				Extents: []Extent{
+					{Addr: 0x1000, Data: make([]byte, 64)},
+					{Addr: 0x1100, Data: make([]byte, 64)},
+				}},
+			{Start: 0x10000, Length: mem.PageSize, Kind: mem.KindAnon, Name: "b"},
+		},
+		FDs: []FDRecord{{FD: 0, Path: "/x"}},
+	}
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	if err := validImage().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesCorruptions(t *testing.T) {
+	cases := map[string]func(*Image){
+		"no-exe":           func(i *Image) { i.Exe = "" },
+		"bad-pid":          func(i *Image) { i.PID = 0 },
+		"incr-no-parent":   func(i *Image) { i.Mode = ModeIncremental },
+		"full-with-parent": func(i *Image) { i.Parent = "x" },
+		"no-threads":       func(i *Image) { i.Threads = nil },
+		"dup-tid":          func(i *Image) { i.Threads = append(i.Threads, ThreadRecord{TID: 1}) },
+		"unaligned-vma":    func(i *Image) { i.VMAs[0].Start = 0x1001 },
+		"zero-len-vma":     func(i *Image) { i.VMAs[0].Length = 0 },
+		"overlap-vma":      func(i *Image) { i.VMAs[1].Start = 0x1000 },
+		"empty-extent":     func(i *Image) { i.VMAs[0].Extents[0].Data = nil },
+		"extent-outside":   func(i *Image) { i.VMAs[0].Extents[1].Addr = 0x9000000 },
+		"extent-overlap":   func(i *Image) { i.VMAs[0].Extents[1].Addr = 0x1020 },
+		"neg-fd":           func(i *Image) { i.FDs[0].FD = -1 },
+		"dup-fd":           func(i *Image) { i.FDs = append(i.FDs, FDRecord{FD: 0, Path: "/y"}) },
+		"fd-no-path":       func(i *Image) { i.FDs[0].Path = "" },
+	}
+	for name, breakIt := range cases {
+		img := validImage()
+		breakIt(img)
+		if err := img.Verify(); !errors.Is(err, ErrInvalidImage) {
+			t.Errorf("%s: Verify = %v, want ErrInvalidImage", name, err)
+		}
+	}
+}
+
+func TestVerifyChain(t *testing.T) {
+	full := validImage()
+	delta := validImage()
+	delta.Mode = ModeIncremental
+	delta.Seq = 2
+	delta.Parent = full.ObjectName()
+
+	if err := VerifyChain([]*Image{full, delta}); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChain(nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if err := VerifyChain([]*Image{delta}); err == nil {
+		t.Fatal("incremental head accepted")
+	}
+
+	badSeq := validImage()
+	badSeq.Mode = ModeIncremental
+	badSeq.Seq = 1
+	badSeq.Parent = full.ObjectName()
+	if err := VerifyChain([]*Image{full, badSeq}); err == nil {
+		t.Fatal("non-ascending seq accepted")
+	}
+
+	otherExe := validImage()
+	otherExe.Mode = ModeIncremental
+	otherExe.Seq = 2
+	otherExe.Parent = full.ObjectName()
+	otherExe.Exe = "other"
+	if err := VerifyChain([]*Image{full, otherExe}); err == nil {
+		t.Fatal("cross-executable chain accepted")
+	}
+
+	wrongParent := validImage()
+	wrongParent.Mode = ModeIncremental
+	wrongParent.Seq = 2
+	wrongParent.Parent = "ckpt/pid9/seq1"
+	if err := VerifyChain([]*Image{full, wrongParent}); err == nil {
+		t.Fatal("broken parent link accepted")
+	}
+}
+
+// Property: every image Capture produces — full or incremental, any
+// workload — passes Verify, and every chain passes VerifyChain.
+func TestCapturedImagesAlwaysVerify(t *testing.T) {
+	progs := []kernel.Program{
+		workload.Dense{MiB: 1},
+		workload.Sparse{MiB: 2, WriteFrac: 0.2, Seed: 3},
+		workload.Stencil{MiB: 2},
+		workload.MultiThreaded{MiB: 1, NThreads: 3, Iterations: 1 << 20},
+	}
+	for _, prog := range progs {
+		k := newMachine("v", prog)
+		p, err := k.Spawn(prog.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.SetIterations(p, 1<<30)
+		k.RunFor(2 * simtime.Millisecond)
+
+		trk := NewKernelWPTracker(k, p)
+		if err := trk.Arm(); err != nil {
+			t.Fatal(err)
+		}
+		var chain []*Image
+		parent := ""
+		for i := 0; i < 3; i++ {
+			k.RunFor(simtime.Millisecond)
+			k.Stop(p)
+			img, _, err := Capture(Request{
+				Acc: &KernelAccessor{K: k, P: p}, Trk: trk,
+				Mechanism: "verify-test", Hostname: "v",
+				Seq: uint64(i + 1), Parent: parent, Now: k.Now(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := img.Verify(); err != nil {
+				t.Fatalf("%s image %d: %v", prog.Name(), i, err)
+			}
+			chain = append(chain, img)
+			parent = img.ObjectName()
+			k.Wake(p)
+		}
+		if err := VerifyChain(chain); err != nil {
+			t.Fatalf("%s chain: %v", prog.Name(), err)
+		}
+		trk.Close()
+	}
+}

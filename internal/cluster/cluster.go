@@ -1,0 +1,250 @@
+// Package cluster provides the fault-tolerance substrate of §1: a
+// simulated cluster of machines with fail-stop failures [33], node-local
+// and remote stable storage, checkpoint-interval policy (Young/Daly), an
+// autonomic manager that adapts the interval to the observed failure rate,
+// process migration, gang scheduling via safe preemption, and both a
+// detailed mode (full simulated kernels per node) and an analytic mode for
+// long-MTBF parameter sweeps.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/proc"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// Node is one machine: a kernel plus its local disk. The disk's contents
+// survive reboots (the power-outage case the paper concedes to local
+// storage) but are unreachable while the node is down and after the node
+// is replaced.
+type Node struct {
+	Name string
+	K    *kernel.Kernel
+	Disk *storage.Local
+	RAM  *storage.Memory
+
+	alive    bool
+	failures int
+	cl       *Cluster
+	idx      int
+}
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Failures returns how many times the node has failed.
+func (n *Node) Failures() int { return n.failures }
+
+// Remote returns a client for the cluster's checkpoint server.
+func (n *Node) Remote() *storage.Remote {
+	return storage.NewRemote(n.Name+"→"+"server", n.cl.Server)
+}
+
+// message is one in-flight cross-node payload.
+type message struct {
+	to      int
+	payload any
+	at      simtime.Time
+}
+
+// Cluster is a set of nodes co-simulated under a barrier-synchronized
+// clock, plus a shared remote checkpoint server.
+type Cluster struct {
+	CM       *costmodel.Model
+	Registry *kernel.Registry
+	Server   *storage.Server
+
+	nodes   []*Node
+	now     simtime.Time
+	quantum simtime.Duration
+	rng     *rand.Rand
+
+	mail     []message
+	handlers []func(payload any)
+
+	injector *Injector
+}
+
+// Config tunes a cluster.
+type Config struct {
+	Nodes   int
+	Quantum simtime.Duration // barrier step (default 100µs)
+	Seed    int64
+	// KernelCfg is applied per node (hostname is overridden).
+	KernelCfg kernel.Config
+}
+
+// New builds a cluster whose nodes all know the programs in reg.
+func New(cfg Config, cm *costmodel.Model, reg *kernel.Registry) *Cluster {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 100 * simtime.Microsecond
+	}
+	c := &Cluster{
+		CM:       cm,
+		Registry: reg,
+		Server:   storage.NewServer("ckpt-server", cm),
+		quantum:  cfg.Quantum,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.addNode(cfg, i)
+	}
+	return c
+}
+
+func (c *Cluster) addNode(cfg Config, i int) {
+	name := fmt.Sprintf("node%d", i)
+	n := &Node{Name: name, alive: true, cl: c, idx: i}
+	n.Disk = storage.NewLocal(name+"-disk", c.CM, n.Alive)
+	n.RAM = storage.NewMemory(name+"-ram", n.Alive)
+	kc := cfg.KernelCfg
+	kc.Hostname = name
+	kc.Seed = cfg.Seed + int64(i)*7919
+	n.K = kernel.New(kc, c.CM, c.Registry)
+	c.nodes = append(c.nodes, n)
+	c.handlers = append(c.handlers, nil)
+}
+
+// Nodes returns the node list.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Now returns the cluster barrier time.
+func (c *Cluster) Now() simtime.Time { return c.now }
+
+// Rand returns the cluster's deterministic RNG.
+func (c *Cluster) Rand() *rand.Rand { return c.rng }
+
+// SetInjector installs a failure injector.
+func (c *Cluster) SetInjector(inj *Injector) { c.injector = inj }
+
+// OnDeliver registers the cross-node message handler for node i
+// (package mpi installs its mailbox here).
+func (c *Cluster) OnDeliver(i int, fn func(payload any)) { c.handlers[i] = fn }
+
+// DropMail discards queued in-flight messages matching the predicate —
+// the network teardown a parallel job performs before restarting from a
+// checkpoint (stale packets from the failed execution must not reach the
+// restored one).
+func (c *Cluster) DropMail(match func(payload any) bool) int {
+	var rest []message
+	dropped := 0
+	for _, m := range c.mail {
+		if match(m.payload) {
+			dropped++
+			continue
+		}
+		rest = append(rest, m)
+	}
+	c.mail = rest
+	return dropped
+}
+
+// Send queues a payload of the given size from node `from` to node `to`;
+// it is delivered at the first barrier after the modeled transfer time.
+func (c *Cluster) Send(from, to int, payload any, size int) error {
+	if !c.nodes[from].alive {
+		return fmt.Errorf("cluster: %s is down", c.nodes[from].Name)
+	}
+	at := c.now.Add(c.CM.NetTransfer(size))
+	c.mail = append(c.mail, message{to: to, payload: payload, at: at})
+	return nil
+}
+
+// Step advances the cluster by one quantum: each live node's kernel runs
+// to the barrier, then due messages deliver and due failures fire.
+func (c *Cluster) Step() {
+	c.now = c.now.Add(c.quantum)
+	for _, n := range c.nodes {
+		if n.alive && n.K.Now() < c.now {
+			n.K.RunFor(c.now.Sub(n.K.Now()))
+		}
+	}
+	// Deliver due mail (to live nodes; mail to dead nodes is dropped,
+	// fail-stop semantics).
+	var rest []message
+	for _, m := range c.mail {
+		switch {
+		case m.at > c.now:
+			rest = append(rest, m)
+		case c.nodes[m.to].alive && c.handlers[m.to] != nil:
+			c.handlers[m.to](m.payload)
+		}
+	}
+	c.mail = rest
+	if c.injector != nil {
+		c.injector.apply(c)
+	}
+}
+
+// RunFor advances the cluster by d.
+func (c *Cluster) RunFor(d simtime.Duration) {
+	deadline := c.now.Add(d)
+	for c.now < deadline {
+		c.Step()
+	}
+}
+
+// RunUntil advances the cluster until cond returns true or the budget
+// elapses; reports whether cond was met.
+func (c *Cluster) RunUntil(cond func() bool, budget simtime.Duration) bool {
+	deadline := c.now.Add(budget)
+	for c.now < deadline {
+		if cond() {
+			return true
+		}
+		c.Step()
+	}
+	return cond()
+}
+
+// Fail takes node i down (fail-stop: it halts instantly and all its
+// processes die). Its local disk becomes unreachable.
+func (c *Cluster) Fail(i int) {
+	n := c.nodes[i]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	n.failures++
+	n.K.SetHalted(true)
+	for _, p := range n.K.Procs.All() {
+		if p.State != proc.StateZombie && p.State != proc.StateDead {
+			n.K.Exit(p, 137)
+		}
+	}
+}
+
+// Reboot brings node i back with a fresh kernel (empty process table).
+// The local disk's contents are intact; RAM contents are lost.
+func (c *Cluster) Reboot(i int) {
+	n := c.nodes[i]
+	if n.alive {
+		return
+	}
+	kc := kernel.DefaultConfig(n.Name)
+	kc.Seed = int64(i)*7919 + int64(n.failures)
+	k := kernel.New(kc, c.CM, c.Registry)
+	// The new kernel's clock starts at the cluster barrier.
+	k.Eng.Clock.AdvanceTo(c.now)
+	n.K = k
+	n.RAM.Drop()
+	n.alive = true
+}
+
+// FindSpare returns the first live node other than `except`, or -1.
+func (c *Cluster) FindSpare(except int) int {
+	for i, n := range c.nodes {
+		if i != except && n.alive {
+			return i
+		}
+	}
+	return -1
+}

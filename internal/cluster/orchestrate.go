@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/mechanism"
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/proc"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// MechPool caches one mechanism instance per node (mechanisms bind to a
+// single kernel, so cross-node operations need one instance per machine).
+type MechPool struct {
+	C      *Cluster
+	Mk     func() mechanism.Mechanism
+	byNode map[int]mechanism.Mechanism
+}
+
+// NewMechPool wraps a mechanism factory for use across c's nodes.
+func NewMechPool(c *Cluster, mk func() mechanism.Mechanism) *MechPool {
+	return &MechPool{C: c, Mk: mk, byNode: make(map[int]mechanism.Mechanism)}
+}
+
+// For returns the node's mechanism, installing it on first use.
+func (mp *MechPool) For(node int) (mechanism.Mechanism, error) {
+	if m, ok := mp.byNode[node]; ok {
+		return m, nil
+	}
+	m := mp.Mk()
+	if err := m.Install(mp.C.Node(node).K); err != nil {
+		return nil, err
+	}
+	mp.byNode[node] = m
+	return m, nil
+}
+
+// Migrate moves a process between nodes with the pool's mechanism (the
+// CRAK/ZAP/BProc use case): checkpoint on the source, ship the image,
+// kill the original, restart on the destination.
+func Migrate(c *Cluster, pool *MechPool, from, to int, pid proc.PID) (*proc.Process, error) {
+	src, dst := c.Node(from), c.Node(to)
+	if !src.Alive() || !dst.Alive() {
+		return nil, errors.New("cluster: migration endpoints must be alive")
+	}
+	p, err := src.K.Procs.Lookup(pid)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := pool.For(from)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := mechanism.Checkpoint(ms, src.K, p, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: migrate capture: %w", err)
+	}
+	// Ship the image across the interconnect.
+	data, err := tk.Img.EncodeBytes()
+	if err != nil {
+		return nil, err
+	}
+	c.RunFor(c.CM.NetTransfer(len(data)))
+	src.K.Exit(p, 0)
+	src.K.Procs.Remove(p.PID)
+
+	md, err := pool.For(to)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := md.Restart(dst.K, []*checkpoint.Image{tk.Img}, true)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: migrate restart: %w", err)
+	}
+	return p2, nil
+}
+
+// GangMember is one process of a gang-scheduled parallel job.
+type GangMember struct {
+	Node int
+	PID  proc.PID
+}
+
+// Gang is a coscheduled set of processes that can be preempted safely via
+// checkpoint/restart — the "safe pre-emption by another process" and
+// "temporary suspension of a long-running application for planned system
+// outage or maintenance" uses of §1.
+type Gang struct {
+	C       *Cluster
+	MkMech  func() mechanism.Mechanism
+	Members []GangMember
+
+	mechs  map[int]mechanism.Mechanism
+	images map[int]*checkpoint.Image // keyed by member index
+	frozen bool
+}
+
+// NewGang wraps a member set for safe preemption.
+func NewGang(c *Cluster, mk func() mechanism.Mechanism, members []GangMember) *Gang {
+	return &Gang{
+		C: c, MkMech: mk, Members: members,
+		mechs:  make(map[int]mechanism.Mechanism),
+		images: make(map[int]*checkpoint.Image),
+	}
+}
+
+func (g *Gang) mech(node int) (mechanism.Mechanism, error) {
+	if m, ok := g.mechs[node]; ok {
+		return m, nil
+	}
+	m := g.MkMech()
+	if err := m.Install(g.C.Node(node).K); err != nil {
+		return nil, err
+	}
+	g.mechs[node] = m
+	return m, nil
+}
+
+// Preempt checkpoints every member and kills it, freeing the nodes for
+// another job. Checkpoints go to each node's local disk via the
+// mechanism's native path.
+func (g *Gang) Preempt() error {
+	if g.frozen {
+		return errors.New("cluster: gang already preempted")
+	}
+	for i, mb := range g.Members {
+		n := g.C.Node(mb.Node)
+		m, err := g.mech(mb.Node)
+		if err != nil {
+			return err
+		}
+		p, err := n.K.Procs.Lookup(mb.PID)
+		if err != nil {
+			return err
+		}
+		tk, err := mechanism.Checkpoint(m, n.K, p, nil, nil)
+		if err != nil {
+			return fmt.Errorf("cluster: gang preempt member %d: %w", i, err)
+		}
+		g.images[i] = tk.Img
+		n.K.Exit(p, 0)
+		n.K.Procs.Remove(p.PID)
+	}
+	g.frozen = true
+	return nil
+}
+
+// Resume restarts every member on its node, returning the new processes
+// in Members order (PIDs are per-node and may repeat across nodes).
+func (g *Gang) Resume() ([]*proc.Process, error) {
+	if !g.frozen {
+		return nil, errors.New("cluster: gang not preempted")
+	}
+	out := make([]*proc.Process, 0, len(g.Members))
+	for i, mb := range g.Members {
+		img := g.images[i]
+		if img == nil {
+			return nil, fmt.Errorf("cluster: no image for member %d", i)
+		}
+		m, err := g.mech(mb.Node)
+		if err != nil {
+			return nil, err
+		}
+		p, err := m.Restart(g.C.Node(mb.Node).K, []*checkpoint.Image{img}, true)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: gang resume member %d: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	g.frozen = false
+	g.images = make(map[int]*checkpoint.Image)
+	return out, nil
+}
+
+// Supervisor runs one application to completion on a detailed cluster
+// under fail-stop failures: it checkpoints periodically through a real
+// mechanism to the checkpoint server (or local disk) and restarts the job
+// on a spare node after failures — the whole §1 story end to end.
+type Supervisor struct {
+	C      *Cluster
+	MkMech func() mechanism.Mechanism
+	Prog   kernel.Program
+	// Iterations bounds the workload.
+	Iterations uint64
+	// Interval between checkpoints (fixed), or adaptive via Estimator.
+	Interval simtime.Duration
+	Adaptive bool
+	// UseLocalDisk stores checkpoints on the running node instead of the
+	// server — the E5 contrast.
+	UseLocalDisk bool
+	// Estimator drives adaptive intervals and records failures.
+	Estimator *MTBFEstimator
+
+	node        int
+	pid         proc.PID
+	mechAt      map[int]mechanism.Mechanism
+	lastLeaf    string
+	lastNode    int
+	lastCkptDur simtime.Duration
+
+	// Results
+	Completed   bool
+	Fingerprint uint64
+	Makespan    simtime.Duration
+	Checkpoints int
+	Restarts    int
+	FromScratch int // restarts that lost all progress (local disk gone)
+}
+
+// Run drives the cluster until the job completes or the budget elapses.
+func (s *Supervisor) Run(budget simtime.Duration) error {
+	if s.Estimator == nil {
+		s.Estimator = NewMTBFEstimator(simtime.Hour)
+	}
+	s.mechAt = make(map[int]mechanism.Mechanism)
+	start := s.C.Now()
+	if err := s.start(0); err != nil {
+		return err
+	}
+	deadline := s.C.Now().Add(budget)
+	lastObs := s.C.Now()
+	for s.C.Now() < deadline {
+		iv := s.Interval
+		if s.Adaptive {
+			// Young's interval from the measured checkpoint cost and the
+			// online MTBF estimate (§1's self-adjusting behaviour).
+			cost := s.lastCkptDur
+			if cost <= 0 {
+				cost = 10 * simtime.Millisecond
+			}
+			iv = YoungInterval(cost, s.Estimator.Estimate())
+			if iv <= 0 || iv > s.Interval*100 {
+				iv = s.Interval
+			}
+		}
+		s.C.RunFor(iv)
+		s.Estimator.ObserveUptime(s.C.Now().Sub(lastObs))
+		lastObs = s.C.Now()
+
+		n := s.C.Node(s.node)
+		if !n.Alive() {
+			s.Estimator.ObserveFailure()
+			if err := s.recover(); err != nil {
+				return err
+			}
+			continue
+		}
+		p, err := n.K.Procs.Lookup(s.pid)
+		if err != nil {
+			// The node failed AND rebooted within the interval: the fresh
+			// kernel has no trace of the job.
+			s.Estimator.ObserveFailure()
+			if err := s.recover(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.State == proc.StateZombie && p.ExitCode != 0 {
+			// Killed by a failure we did not observe directly.
+			s.Estimator.ObserveFailure()
+			if err := s.recover(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.State == proc.StateZombie {
+			s.Completed = true
+			s.Fingerprint = p.Regs().G[3]
+			s.Makespan = s.C.Now().Sub(start)
+			return nil
+		}
+		if err := s.checkpoint(p); err != nil {
+			// Storage unavailable mid-failure: retry next round.
+			continue
+		}
+	}
+	s.Makespan = s.C.Now().Sub(start)
+	return nil
+}
+
+func (s *Supervisor) mech(node int) (mechanism.Mechanism, error) {
+	if m, ok := s.mechAt[node]; ok {
+		return m, nil
+	}
+	m := s.MkMech()
+	if err := m.Install(s.C.Node(node).K); err != nil {
+		return nil, err
+	}
+	s.mechAt[node] = m
+	return m, nil
+}
+
+func (s *Supervisor) target(node int) storage.Target {
+	if s.UseLocalDisk {
+		return s.C.Node(node).Disk
+	}
+	return s.C.Node(node).Remote()
+}
+
+func (s *Supervisor) start(node int) error {
+	s.node = node
+	m, err := s.mech(node)
+	if err != nil {
+		return err
+	}
+	prepared := m.Prepare(s.Prog)
+	n := s.C.Node(node)
+	if _, err := n.K.Registry.Lookup(prepared.Name()); err != nil {
+		n.K.Registry.MustRegister(prepared)
+	}
+	p, err := n.K.Spawn(prepared.Name())
+	if err != nil {
+		return err
+	}
+	if err := m.Setup(n.K, p); err != nil {
+		return err
+	}
+	if s.Iterations > 0 {
+		p.Regs().G[1] = s.Iterations
+	}
+	s.pid = p.PID
+	return nil
+}
+
+func (s *Supervisor) checkpoint(p *proc.Process) error {
+	m, err := s.mech(s.node)
+	if err != nil {
+		return err
+	}
+	tgt := s.target(s.node)
+	tk, err := mechanism.Checkpoint(m, s.C.Node(s.node).K, p, tgt, nil)
+	if err != nil {
+		return err
+	}
+	s.Checkpoints++
+	s.lastLeaf = tk.Img.ObjectName()
+	s.lastNode = s.node
+	s.lastCkptDur = tk.Total()
+	return nil
+}
+
+// recover restarts the job on a spare node from the best reachable
+// checkpoint — or from scratch when the only copies died with the node.
+func (s *Supervisor) recover() error {
+	spare := s.C.FindSpare(s.node)
+	if spare < 0 {
+		return errors.New("cluster: no spare node")
+	}
+	var chain []*checkpoint.Image
+	if s.lastLeaf != "" {
+		var src storage.Target
+		if s.UseLocalDisk {
+			src = s.C.Node(s.lastNode).Disk // unreachable if that node is down
+		} else {
+			src = s.C.Node(spare).Remote()
+		}
+		if src.Available() {
+			if ch, err := checkpoint.LoadChain(src, nil, s.lastLeaf); err == nil {
+				chain = ch
+			}
+		}
+	}
+	if chain == nil {
+		// Nothing recoverable: start over (the paper's warning about
+		// local-only storage).
+		s.FromScratch++
+		s.lastLeaf = ""
+		s.Restarts++
+		return s.start(spare)
+	}
+	m, err := s.mech(spare)
+	if err != nil {
+		return err
+	}
+	// Make sure the (possibly wrapped) program exists on the spare.
+	prepared := m.Prepare(s.Prog)
+	if _, err := s.C.Node(spare).K.Registry.Lookup(prepared.Name()); err != nil {
+		s.C.Node(spare).K.Registry.MustRegister(prepared)
+	}
+	p, err := m.Restart(s.C.Node(spare).K, chain, true)
+	if err != nil {
+		return err
+	}
+	s.node = spare
+	s.pid = p.PID
+	s.Restarts++
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package costmodel defines the explicit per-operation cost model that
+// gives the simulation its notion of performance.
+//
+// The paper's performance arguments (user- vs system-level checkpointing,
+// page- vs cache-line-granularity tracking, local vs remote storage) are
+// relative: they depend on the *structure* of the costs — a syscall costs a
+// mode switch plus register save/restore, a kernel-thread switch may flush
+// the TLB, a page fault costs an exception plus handler — rather than the
+// absolute numbers. The defaults below are calibrated to 2005-era hardware
+// (the paper cites Lai & Baker [20] for syscall/context-switch costs and
+// Sancho et al. [31] for I/O bus, disk, and interconnect bottlenecks).
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Model holds every tunable cost used by the simulator. A zero Model is
+// invalid; start from Default2005() and adjust.
+type Model struct {
+	// CPU work: one simulated "unit of computation" by an application step.
+	CyclesPerSecond float64 // CPU frequency used to convert cycles→time
+
+	// Kernel crossing costs (the paper, §3: "most CPU's registers must be
+	// saved/restored every time a system call is performed").
+	SyscallEntry    simtime.Duration // user→kernel trap + register save
+	SyscallExit     simtime.Duration // kernel→user return + register restore
+	ContextSwitch   simtime.Duration // scheduler switch between processes
+	TLBFlush        simtime.Duration // full TLB invalidation (address-space switch)
+	TLBRefillPer    simtime.Duration // cost to re-fill one TLB entry after a flush
+	PageFault       simtime.Duration // exception entry + kernel fault handler
+	SignalDeliver   simtime.Duration // set up user signal frame, switch to handler
+	SignalReturn    simtime.Duration // sigreturn back to interrupted context
+	MprotectBase    simtime.Duration // mprotect syscall fixed cost
+	MprotectPerPage simtime.Duration // per-page PTE update inside mprotect
+	ForkBase        simtime.Duration // fork fixed cost
+	ForkPerPage     simtime.Duration // per-page cost (page-table copy, COW setup)
+	InterruptEntry  simtime.Duration // hardware interrupt dispatch
+
+	// Memory and hashing.
+	MemCopyBytesPerSec float64          // memcpy bandwidth (bytes/s)
+	HashBytesPerSec    float64          // checksum/hash bandwidth (bytes/s)
+	MemTouchPerPage    simtime.Duration // cost to walk/inspect one PTE
+
+	// Storage.
+	DiskSeek        simtime.Duration // average seek+rotational latency
+	DiskBytesPerSec float64          // sustained disk bandwidth
+	SwapBytesPerSec float64          // swap partition bandwidth (hibernation)
+
+	// Network (cluster interconnect, 2005: Quadrics/Myrinet class).
+	NetLatency     simtime.Duration // one-way small-message latency
+	NetBytesPerSec float64          // link bandwidth
+	NetPerMessage  simtime.Duration // per-message software overhead
+
+	// Hardware checkpointing (§4.2): logging one cache line.
+	CacheLineLog  simtime.Duration // ReVive/SafetyNet per-line log cost
+	CacheLineSize int              // bytes per cache line
+}
+
+// Default2005 returns the reference model calibrated to the hardware the
+// paper discusses: ~2 GHz CPU, ~1 µs syscall round trip, ~5 µs context
+// switch, 50 MB/s commodity disk, 4 µs / 250 MB/s interconnect.
+func Default2005() *Model {
+	return &Model{
+		CyclesPerSecond: 2e9,
+
+		SyscallEntry:    400 * simtime.Nanosecond,
+		SyscallExit:     300 * simtime.Nanosecond,
+		ContextSwitch:   5 * simtime.Microsecond,
+		TLBFlush:        2 * simtime.Microsecond,
+		TLBRefillPer:    40 * simtime.Nanosecond,
+		PageFault:       3 * simtime.Microsecond,
+		SignalDeliver:   4 * simtime.Microsecond,
+		SignalReturn:    2 * simtime.Microsecond,
+		MprotectBase:    1 * simtime.Microsecond,
+		MprotectPerPage: 150 * simtime.Nanosecond,
+		ForkBase:        80 * simtime.Microsecond,
+		ForkPerPage:     200 * simtime.Nanosecond,
+		InterruptEntry:  2 * simtime.Microsecond,
+
+		MemCopyBytesPerSec: 1.2e9,
+		HashBytesPerSec:    800e6,
+		MemTouchPerPage:    60 * simtime.Nanosecond,
+
+		DiskSeek:        8 * simtime.Millisecond,
+		DiskBytesPerSec: 50e6,
+		SwapBytesPerSec: 45e6,
+
+		NetLatency:     4 * simtime.Microsecond,
+		NetBytesPerSec: 250e6,
+		NetPerMessage:  1 * simtime.Microsecond,
+
+		CacheLineLog:  25 * simtime.Nanosecond,
+		CacheLineSize: 64,
+	}
+}
+
+// Validate reports an error if any rate or size that is divided by is
+// non-positive.
+func (m *Model) Validate() error {
+	switch {
+	case m.CyclesPerSecond <= 0:
+		return fmt.Errorf("costmodel: CyclesPerSecond must be positive, got %g", m.CyclesPerSecond)
+	case m.MemCopyBytesPerSec <= 0:
+		return fmt.Errorf("costmodel: MemCopyBytesPerSec must be positive, got %g", m.MemCopyBytesPerSec)
+	case m.HashBytesPerSec <= 0:
+		return fmt.Errorf("costmodel: HashBytesPerSec must be positive, got %g", m.HashBytesPerSec)
+	case m.DiskBytesPerSec <= 0:
+		return fmt.Errorf("costmodel: DiskBytesPerSec must be positive, got %g", m.DiskBytesPerSec)
+	case m.SwapBytesPerSec <= 0:
+		return fmt.Errorf("costmodel: SwapBytesPerSec must be positive, got %g", m.SwapBytesPerSec)
+	case m.NetBytesPerSec <= 0:
+		return fmt.Errorf("costmodel: NetBytesPerSec must be positive, got %g", m.NetBytesPerSec)
+	case m.CacheLineSize <= 0:
+		return fmt.Errorf("costmodel: CacheLineSize must be positive, got %d", m.CacheLineSize)
+	}
+	return nil
+}
+
+// Cycles converts a cycle count to simulated time.
+func (m *Model) Cycles(n int64) simtime.Duration {
+	return simtime.Duration(float64(n) / m.CyclesPerSecond * float64(simtime.Second))
+}
+
+// Syscall returns the full round-trip cost of one system call, excluding
+// any work done inside the kernel on its behalf.
+func (m *Model) Syscall() simtime.Duration { return m.SyscallEntry + m.SyscallExit }
+
+// MemCopy returns the time to copy n bytes.
+func (m *Model) MemCopy(n int) simtime.Duration { return bytesAt(n, m.MemCopyBytesPerSec) }
+
+// Hash returns the time to checksum n bytes.
+func (m *Model) Hash(n int) simtime.Duration { return bytesAt(n, m.HashBytesPerSec) }
+
+// DiskWrite returns the time to write n bytes after one seek.
+func (m *Model) DiskWrite(n int) simtime.Duration {
+	return m.DiskSeek + bytesAt(n, m.DiskBytesPerSec)
+}
+
+// DiskStream returns the time to stream n bytes without a seek (sequential
+// continuation of an open transfer).
+func (m *Model) DiskStream(n int) simtime.Duration { return bytesAt(n, m.DiskBytesPerSec) }
+
+// NetTransfer returns the time to move one n-byte message across one link.
+func (m *Model) NetTransfer(n int) simtime.Duration {
+	return m.NetLatency + m.NetPerMessage + bytesAt(n, m.NetBytesPerSec)
+}
+
+// Mprotect returns the cost of an mprotect syscall covering nPages pages.
+func (m *Model) Mprotect(nPages int) simtime.Duration {
+	return m.Syscall() + m.MprotectBase + simtime.Duration(nPages)*m.MprotectPerPage
+}
+
+// Fork returns the cost of forking a process with nPages mapped pages.
+func (m *Model) Fork(nPages int) simtime.Duration {
+	return m.ForkBase + simtime.Duration(nPages)*m.ForkPerPage
+}
+
+func bytesAt(n int, bytesPerSec float64) simtime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return simtime.Duration(float64(n) / bytesPerSec * float64(simtime.Second))
+}
+
+// Biller is the accounting interface through which components charge
+// simulated time (and attribute it to a category). The kernel implements
+// Biller for the currently running process; coarse models implement it
+// with a simple accumulator.
+type Biller interface {
+	// Charge advances simulated time by d, attributed to category what.
+	Charge(d simtime.Duration, what string)
+}
+
+// Ledger is a Biller that accumulates charges by category. It is used by
+// analytic models and by tests to assert on cost attribution.
+type Ledger struct {
+	Total      simtime.Duration
+	ByCategory map[string]simtime.Duration
+	Counts     map[string]int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		ByCategory: make(map[string]simtime.Duration),
+		Counts:     make(map[string]int),
+	}
+}
+
+// Charge implements Biller.
+func (l *Ledger) Charge(d simtime.Duration, what string) {
+	if d < 0 {
+		panic(fmt.Sprintf("costmodel: negative charge %d (%s)", d, what))
+	}
+	l.Total += d
+	l.ByCategory[what] += d
+	l.Counts[what]++
+}
+
+// Reset zeroes the ledger in place.
+func (l *Ledger) Reset() {
+	l.Total = 0
+	for k := range l.ByCategory {
+		delete(l.ByCategory, k)
+	}
+	for k := range l.Counts {
+		delete(l.Counts, k)
+	}
+}
+
+// Discard is a Biller that drops all charges. Useful for probing
+// mechanisms when time accounting is irrelevant.
+type Discard struct{}
+
+// Charge implements Biller.
+func (Discard) Charge(simtime.Duration, string) {}

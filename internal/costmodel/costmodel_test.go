@@ -1,0 +1,127 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestDefault2005Valid(t *testing.T) {
+	if err := Default2005().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesZeroRates(t *testing.T) {
+	fields := []func(*Model){
+		func(m *Model) { m.CyclesPerSecond = 0 },
+		func(m *Model) { m.MemCopyBytesPerSec = 0 },
+		func(m *Model) { m.HashBytesPerSec = 0 },
+		func(m *Model) { m.DiskBytesPerSec = 0 },
+		func(m *Model) { m.SwapBytesPerSec = 0 },
+		func(m *Model) { m.NetBytesPerSec = 0 },
+		func(m *Model) { m.CacheLineSize = 0 },
+	}
+	for i, breakIt := range fields {
+		m := Default2005()
+		breakIt(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a broken model", i)
+		}
+	}
+}
+
+func TestCyclesConversion(t *testing.T) {
+	m := Default2005()
+	// 2e9 cycles at 2 GHz is exactly one second.
+	if got := m.Cycles(2e9); got != simtime.Second {
+		t.Fatalf("Cycles(2e9) = %v, want 1s", got)
+	}
+	if got := m.Cycles(0); got != 0 {
+		t.Fatalf("Cycles(0) = %v, want 0", got)
+	}
+}
+
+func TestMemCopyScalesLinearly(t *testing.T) {
+	m := Default2005()
+	one := m.MemCopy(1 << 20)
+	four := m.MemCopy(4 << 20)
+	ratio := float64(four) / float64(one)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("MemCopy not linear: 4MiB/1MiB = %.3f", ratio)
+	}
+}
+
+func TestDiskWriteIncludesSeek(t *testing.T) {
+	m := Default2005()
+	if got, want := m.DiskWrite(0), m.DiskSeek; got != want {
+		t.Fatalf("DiskWrite(0) = %v, want just seek %v", got, want)
+	}
+	if m.DiskWrite(1<<20) <= m.DiskStream(1<<20) {
+		t.Fatal("DiskWrite should cost more than DiskStream for same size")
+	}
+}
+
+func TestMprotectPerPage(t *testing.T) {
+	m := Default2005()
+	d1 := m.Mprotect(1)
+	d100 := m.Mprotect(100)
+	if d100-d1 != 99*m.MprotectPerPage {
+		t.Fatalf("Mprotect per-page delta = %v, want %v", d100-d1, 99*m.MprotectPerPage)
+	}
+}
+
+func TestNetTransferHasFloor(t *testing.T) {
+	m := Default2005()
+	if got := m.NetTransfer(0); got != m.NetLatency+m.NetPerMessage {
+		t.Fatalf("NetTransfer(0) = %v, want latency+overhead", got)
+	}
+}
+
+func TestLedgerAccumulates(t *testing.T) {
+	l := NewLedger()
+	l.Charge(10, "a")
+	l.Charge(20, "a")
+	l.Charge(5, "b")
+	if l.Total != 35 {
+		t.Fatalf("Total = %v, want 35", l.Total)
+	}
+	if l.ByCategory["a"] != 30 || l.Counts["a"] != 2 {
+		t.Fatalf("category a = %v/%d, want 30/2", l.ByCategory["a"], l.Counts["a"])
+	}
+	l.Reset()
+	if l.Total != 0 || len(l.ByCategory) != 0 || len(l.Counts) != 0 {
+		t.Fatal("Reset did not clear ledger")
+	}
+}
+
+func TestLedgerNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	NewLedger().Charge(-1, "x")
+}
+
+// Property: byte-rate costs are monotone in n and never negative.
+func TestQuickByteCostsMonotone(t *testing.T) {
+	m := Default2005()
+	f := func(a, b uint16) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		fns := []func(int) simtime.Duration{m.MemCopy, m.Hash, m.DiskStream, m.NetTransfer}
+		for _, fn := range fns {
+			if fn(lo) < 0 || fn(hi) < fn(lo) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Experiments are exercised with small parameters; shape assertions mirror
+// EXPERIMENTS.md (who wins, by roughly what factor).
+
+func TestE1UserCostsMoreThanSystem(t *testing.T) {
+	tb := E1UserVsSystem([]int{4})
+	if tb.NumRows() < 4 {
+		t.Fatalf("rows = %d:\n%s", tb.NumRows(), tb)
+	}
+	var userSys, kernSys int64
+	for i := 0; i < tb.NumRows(); i++ {
+		n, err := strconv.ParseInt(tb.Cell(i, 4), 10, 64)
+		if err != nil {
+			t.Fatalf("syscalls cell %q", tb.Cell(i, 4))
+		}
+		switch tb.Cell(i, 2) {
+		case "user":
+			userSys += n
+		case "system":
+			kernSys += n
+		}
+	}
+	// User-level extraction needs strictly more syscalls than the
+	// system-level paths (which only pay the initiation round trips).
+	if userSys <= kernSys {
+		t.Fatalf("user syscalls %d ≤ system %d:\n%s", userSys, kernSys, tb)
+	}
+}
+
+func TestE2DeltaDependsOnApplication(t *testing.T) {
+	tb := E2Incremental(4)
+	if tb.NumRows() < 5 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	ratios := map[string]float64{}
+	for i := 0; i < tb.NumRows(); i++ {
+		r, err := strconv.ParseFloat(tb.Cell(i, 3), 64)
+		if err != nil {
+			t.Fatalf("ratio cell %q", tb.Cell(i, 3))
+		}
+		ratios[tb.Cell(i, 0)] = r
+	}
+	dense := ratios["dense[mib=4]"]
+	chase := ratios["chase[mib=4,we=64,seed=2]"]
+	if dense < 0.9 {
+		t.Fatalf("dense delta/full = %.3f, want ≈1:\n%s", dense, tb)
+	}
+	if chase > 0.2*dense {
+		t.Fatalf("pointer-chase delta/full = %.3f not ≪ dense %.3f:\n%s", chase, dense, tb)
+	}
+}
+
+func TestE3FinerBlocksSmallerDeltas(t *testing.T) {
+	tb := E3BlockSize(2, []int{256, 1024, 4096})
+	if tb.NumRows() != 4 { // 3 sweep rows + the hybrid row
+		t.Fatalf("rows = %d:\n%s", tb.NumRows(), tb)
+	}
+	first, _ := strconv.ParseFloat(tb.Cell(0, 1), 64) // 256 B delta MB
+	last, _ := strconv.ParseFloat(tb.Cell(2, 1), 64)  // 4096 B delta MB
+	if first >= last {
+		t.Fatalf("finer blocks did not shrink delta: %v vs %v\n%s", first, last, tb)
+	}
+}
+
+func TestE4FIFOInsensitiveSignalDeferred(t *testing.T) {
+	tb := E4Agents([]int{0, 8})
+	if tb.NumRows() < 8 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	get := func(load, agent string) (initMS, totalMS float64) {
+		for i := 0; i < tb.NumRows(); i++ {
+			if tb.Cell(i, 0) == load && tb.Cell(i, 1) == agent {
+				a, _ := strconv.ParseFloat(tb.Cell(i, 2), 64)
+				b, _ := strconv.ParseFloat(tb.Cell(i, 3), 64)
+				return a, b
+			}
+		}
+		t.Fatalf("row %s/%s missing:\n%s", load, agent, tb)
+		return 0, 0
+	}
+	_, fifoIdle := get("0", "kthread-FIFO(CRAK)")
+	_, fifoLoad := get("8", "kthread-FIFO(CRAK)")
+	_, otherLoad := get("8", "kthread-OTHER")
+	sigIdleInit, _ := get("0", "ksignal(EPCKPT)")
+	sigLoadInit, _ := get("8", "ksignal(EPCKPT)")
+
+	if otherLoad <= fifoLoad {
+		t.Fatalf("SCHED_OTHER (%v ms) not slower than FIFO (%v ms) under load:\n%s", otherLoad, fifoLoad, tb)
+	}
+	if fifoLoad > 3*fifoIdle+1 {
+		t.Fatalf("FIFO latency too load-sensitive: %v vs %v:\n%s", fifoLoad, fifoIdle, tb)
+	}
+	if sigLoadInit <= sigIdleInit {
+		t.Fatalf("kernel-signal delivery delay did not grow with load: %v vs %v:\n%s", sigLoadInit, sigIdleInit, tb)
+	}
+}
+
+func TestE5RemoteBeatsLocalBeatsNone(t *testing.T) {
+	tb := E5Storage([]float64{24})
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	get := func(policy string) float64 {
+		for i := 0; i < tb.NumRows(); i++ {
+			if tb.Cell(i, 1) == policy {
+				v, err := strconv.ParseFloat(tb.Cell(i, 2), 64)
+				if err != nil {
+					t.Fatalf("makespan %q for %s (did not complete)", tb.Cell(i, 2), policy)
+				}
+				return v
+			}
+		}
+		t.Fatalf("policy %s missing", policy)
+		return 0
+	}
+	none, local, remote := get("none"), get("local"), get("remote")
+	if !(remote < local && local < none) {
+		t.Fatalf("makespans: remote %.1f local %.1f none %.1f, want remote<local<none:\n%s",
+			remote, local, none, tb)
+	}
+}
+
+func TestE6YoungNearOptimal(t *testing.T) {
+	tb := E6Interval(8)
+	var atOpt, tooShort, tooLong, adaptive float64
+	for i := 0; i < tb.NumRows(); i++ {
+		v, _ := strconv.ParseFloat(tb.Cell(i, 2), 64)
+		switch {
+		case tb.Cell(i, 1) == "fixed(=Young)":
+			atOpt = v
+		case i == 0:
+			tooShort = v
+		case tb.Cell(i, 0) == "adaptive":
+			adaptive = v
+		case i == tb.NumRows()-2:
+			tooLong = v
+		}
+	}
+	if atOpt <= 0 || atOpt >= tooShort || atOpt >= tooLong {
+		t.Fatalf("Young interval not near-optimal: opt %.2f short %.2f long %.2f:\n%s",
+			atOpt, tooShort, tooLong, tb)
+	}
+	if adaptive > atOpt*1.15 {
+		t.Fatalf("adaptive %.2f not within 15%% of oracle %.2f:\n%s", adaptive, atOpt, tb)
+	}
+}
+
+func TestE7LineBeatsPageForSparse(t *testing.T) {
+	tb := E7Hardware(2)
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	// Row 0: pointer chase — huge ratio. Row 2: dense — ratio ≈1.
+	chaseRatio, err := strconv.ParseFloat(tb.Cell(0, 3), 64)
+	if err != nil {
+		t.Fatalf("ratio cell %q", tb.Cell(0, 3))
+	}
+	denseRatio, _ := strconv.ParseFloat(tb.Cell(2, 3), 64)
+	if chaseRatio < 8 {
+		t.Fatalf("chase page/line ratio %.1f, want ≫1:\n%s", chaseRatio, tb)
+	}
+	if denseRatio > 1.1 {
+		t.Fatalf("dense page/line ratio %.2f, want ≈1:\n%s", denseRatio, tb)
+	}
+}
+
+func TestE8DrainScales(t *testing.T) {
+	tb := E8MPI([]int{2, 8}, 4)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if tb.Cell(i, 4) != "true" {
+			t.Fatalf("checkpoint failed for row %d:\n%s", i, tb)
+		}
+	}
+	d2, _ := strconv.ParseFloat(tb.Cell(0, 1), 64)
+	d8, _ := strconv.ParseFloat(tb.Cell(1, 1), 64)
+	if d8 < d2 {
+		t.Fatalf("drain(8)=%v < drain(2)=%v:\n%s", d8, d2, tb)
+	}
+}
+
+func TestE9MatrixShape(t *testing.T) {
+	tb := E9Matrix()
+	if tb.NumRows() != 5 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	find := func(resource string) []string {
+		for i := 0; i < tb.NumRows(); i++ {
+			if tb.Cell(i, 0) == resource {
+				return []string{tb.Cell(i, 1), tb.Cell(i, 2), tb.Cell(i, 3), tb.Cell(i, 4)}
+			}
+		}
+		t.Fatalf("resource %s missing", resource)
+		return nil
+	}
+	// No special resources: everyone succeeds.
+	for _, v := range find("none") {
+		if v != "OK" {
+			t.Fatalf("plain workload failed: %v\n%s", find("none"), tb)
+		}
+	}
+	// Socket: only ZAP survives.
+	sock := find("socket")
+	if sock[3] != "OK" {
+		t.Fatalf("ZAP lost the socket: %v\n%s", sock, tb)
+	}
+	for i := 0; i < 3; i++ {
+		if sock[i] == "OK" {
+			t.Fatalf("non-virtualizing mechanism %d kept the socket: %v\n%s", i, sock, tb)
+		}
+	}
+	// PID: UCLiK and ZAP preserve it; condor and CRAK do not.
+	pid := find("pid")
+	if pid[2] != "OK" || pid[3] != "OK" {
+		t.Fatalf("PID-preserving mechanisms failed: %v\n%s", pid, tb)
+	}
+	if pid[0] == "OK" || pid[1] == "OK" {
+		t.Fatalf("non-PID-preserving mechanisms passed: %v\n%s", pid, tb)
+	}
+	// All three: only ZAP.
+	all := find("all")
+	if all[3] != "OK" {
+		t.Fatalf("ZAP failed the full matrix: %v\n%s", all, tb)
+	}
+}
+
+func TestE10Runs(t *testing.T) {
+	tb := E10Extras()
+	out := tb.String()
+	for _, want := range []string{"swsusp", "fork-ckpt", "gang"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E10 missing %s:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() < 6 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+}

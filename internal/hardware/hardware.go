@@ -1,0 +1,301 @@
+// Package hardware models the purpose-built checkpointing hardware of
+// §4.2: ReVive (Prvulovic, Zhang & Torrellas [29]), which logs at the
+// directory controller, and SafetyNet (Sorin, Martin, Hill & Wood [34]),
+// which buffers checkpoint state in cache-attached Checkpoint Log Buffers
+// (CLBs). Both trace modifications at *cache-line* granularity — far finer
+// than the operating system's page granularity — by logging the old value
+// of a line on its first write after a checkpoint, enabling rollback
+// recovery.
+//
+// The models attach to a simulated process's address space through its
+// cache-line write hooks, so they observe exactly the same write stream
+// the page-granularity trackers see — which is what makes the E7
+// granularity comparison meaningful. The paper's comparison point —
+// "SafetyNet requires more hardware resources than ReVive" — shows up as
+// the bounded CLB: overflow forces an early checkpoint (validation stall),
+// while ReVive's memory log is unbounded but costs main-memory traffic on
+// every logged line.
+package hardware
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+	"repro/internal/simtime"
+)
+
+// logEntry is one undo record: the pre-write contents of a line.
+type logEntry struct {
+	addr mem.Addr
+	old  []byte
+}
+
+// Snapshot is one hardware checkpoint: the register state at the epoch
+// boundary. Memory recovery comes from the undo log, not from a copy.
+type Snapshot struct {
+	Threads []proc.Regs
+	TIDs    []proc.TID
+	At      simtime.Time
+}
+
+// Stats accumulates logging activity.
+type Stats struct {
+	LinesLogged uint64 // first-write log events
+	BytesLogged uint64 // line bytes written to the log
+	WritesSeen  uint64 // total line-granularity writes observed
+	Epochs      uint64
+	Overflows   uint64 // SafetyNet: CLB overflows forcing early checkpoints
+	StallTime   simtime.Duration
+	LogTraffic  simtime.Duration // ReVive: memory-log write time
+}
+
+// errNotAttached is returned by operations before Attach.
+var errNotAttached = errors.New("hardware: not attached to a process")
+
+// logger is the shared first-write-per-epoch undo logging core.
+type logger struct {
+	p        *proc.Process
+	lineSize int
+	cm       *costmodel.Model
+	bill     costmodel.Biller
+
+	seen map[mem.Addr]bool
+	log  []logEntry
+	snap *Snapshot
+
+	stats Stats
+}
+
+func (l *logger) attach(p *proc.Process, lineSize int, cm *costmodel.Model, bill costmodel.Biller, hook mem.WriteHook) error {
+	if l.p != nil {
+		return errors.New("hardware: already attached")
+	}
+	if lineSize <= 0 || mem.PageSize%lineSize != 0 {
+		return fmt.Errorf("hardware: line size %d must divide the page size", lineSize)
+	}
+	l.p = p
+	l.lineSize = lineSize
+	l.cm = cm
+	l.bill = bill
+	l.seen = make(map[mem.Addr]bool)
+	p.AS.SetLineSize(lineSize)
+	p.AS.AddWriteHook(hook)
+	l.takeSnapshot(0)
+	return nil
+}
+
+func (l *logger) takeSnapshot(at simtime.Time) {
+	s := &Snapshot{At: at}
+	for _, t := range l.p.Threads {
+		s.Threads = append(s.Threads, t.Regs)
+		s.TIDs = append(s.TIDs, t.TID)
+	}
+	l.snap = s
+}
+
+// observe records the first write to each line per epoch.
+// Returns true when the line was newly logged.
+func (l *logger) observe(addr mem.Addr, old []byte) bool {
+	l.stats.WritesSeen++
+	if l.seen[addr] {
+		return false
+	}
+	l.seen[addr] = true
+	l.log = append(l.log, logEntry{addr: addr, old: append([]byte(nil), old...)})
+	l.stats.LinesLogged++
+	l.stats.BytesLogged += uint64(len(old))
+	return true
+}
+
+// newEpoch discards the undo log and snapshots registers: the previous
+// checkpoint is committed.
+func (l *logger) newEpoch(at simtime.Time) {
+	l.seen = make(map[mem.Addr]bool)
+	l.log = l.log[:0]
+	l.takeSnapshot(at)
+	l.stats.Epochs++
+}
+
+// rollback applies the undo log in reverse and restores registers,
+// returning execution to the last checkpoint.
+func (l *logger) rollback() error {
+	if l.p == nil {
+		return errNotAttached
+	}
+	for i := len(l.log) - 1; i >= 0; i-- {
+		e := l.log[i]
+		if err := l.p.AS.WriteDirect(e.addr, e.old); err != nil {
+			return fmt.Errorf("hardware: rollback at %#x: %w", uint64(e.addr), err)
+		}
+	}
+	for i, tid := range l.snap.TIDs {
+		for _, t := range l.p.Threads {
+			if t.TID == tid {
+				t.Regs = l.snap.Threads[i]
+			}
+		}
+	}
+	l.seen = make(map[mem.Addr]bool)
+	l.log = l.log[:0]
+	return nil
+}
+
+// pendingBytes returns the current epoch's logged bytes.
+func (l *logger) pendingBytes() int {
+	n := 0
+	for _, e := range l.log {
+		n += len(e.old)
+	}
+	return n
+}
+
+// loggedLines returns the logged line addresses of the current epoch in
+// address order.
+func (l *logger) loggedLines() []mem.Addr {
+	out := make([]mem.Addr, 0, len(l.log))
+	for _, e := range l.log {
+		out = append(out, e.addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReVive models directory-controller logging [29]: on the first write to
+// a line after a checkpoint, the directory writes the old value to a log
+// in main memory. The log is unbounded; its cost is memory traffic per
+// logged line.
+type ReVive struct {
+	logger
+}
+
+// NewReVive returns a detached ReVive model.
+func NewReVive() *ReVive { return &ReVive{} }
+
+// Attach wires the model to p's write stream.
+func (r *ReVive) Attach(p *proc.Process, cm *costmodel.Model, bill costmodel.Biller) error {
+	return r.attach(p, cm.CacheLineSize, cm, bill, func(addr mem.Addr, old, new []byte) {
+		if r.observe(addr, old) {
+			// Directory writes the old line to the memory log.
+			d := r.cm.CacheLineLog + r.cm.MemCopy(len(old))
+			r.bill.Charge(d, "revive-log")
+			r.stats.LogTraffic += d
+		}
+	})
+}
+
+// Checkpoint commits the epoch (global synchronization plus log
+// truncation) and starts a new one.
+func (r *ReVive) Checkpoint(at simtime.Time) error {
+	if r.p == nil {
+		return errNotAttached
+	}
+	// Global barrier + cache flush of dirty lines, modeled as one log
+	// traversal.
+	r.bill.Charge(r.cm.MemCopy(r.pendingBytes()), "revive-commit")
+	r.newEpoch(at)
+	return nil
+}
+
+// Rollback restores the last checkpoint.
+func (r *ReVive) Rollback() error { return r.rollback() }
+
+// Stats returns accumulated counters.
+func (r *ReVive) Stats() Stats { return r.stats }
+
+// PendingBytes returns the undo bytes accumulated this epoch.
+func (r *ReVive) PendingBytes() int { return r.pendingBytes() }
+
+// LoggedLines exposes the epoch's logged lines (tests, E7).
+func (r *ReVive) LoggedLines() []mem.Addr { return r.loggedLines() }
+
+// SafetyNet models cache-attached Checkpoint Log Buffers [34]: old values
+// go to a fast bounded CLB. More hardware than ReVive ("the processor's
+// caches must be modified, and it also requires an additional buffer"),
+// but logging is cheap — until the CLB fills, which forces an early
+// checkpoint validation stall.
+type SafetyNet struct {
+	logger
+	// CLBLines is the buffer capacity in lines.
+	CLBLines int
+	// onOverflow, if set, is called when the CLB fills (the model then
+	// forces a checkpoint).
+	onOverflow func()
+	at         func() simtime.Time
+}
+
+// NewSafetyNet returns a detached SafetyNet model with the given CLB
+// capacity in lines.
+func NewSafetyNet(clbLines int) *SafetyNet { return &SafetyNet{CLBLines: clbLines} }
+
+// Attach wires the model to p's write stream. now supplies timestamps for
+// forced checkpoints (may be nil).
+func (s *SafetyNet) Attach(p *proc.Process, cm *costmodel.Model, bill costmodel.Biller, now func() simtime.Time) error {
+	if s.CLBLines <= 0 {
+		return fmt.Errorf("hardware: CLB capacity %d must be positive", s.CLBLines)
+	}
+	if now == nil {
+		now = func() simtime.Time { return 0 }
+	}
+	s.at = now
+	return s.attach(p, cm.CacheLineSize, cm, bill, func(addr mem.Addr, old, new []byte) {
+		if s.observe(addr, old) {
+			s.bill.Charge(s.cm.CacheLineLog, "safetynet-clb")
+			if len(s.log) >= s.CLBLines {
+				// CLB full: validate and commit the epoch early.
+				s.stats.Overflows++
+				stall := s.cm.MemCopy(s.pendingBytes())
+				s.bill.Charge(stall, "safetynet-overflow")
+				s.stats.StallTime += stall
+				s.newEpoch(s.at())
+				if s.onOverflow != nil {
+					s.onOverflow()
+				}
+			}
+		}
+	})
+}
+
+// OnOverflow registers a callback invoked when the CLB forces an early
+// checkpoint.
+func (s *SafetyNet) OnOverflow(fn func()) { s.onOverflow = fn }
+
+// Checkpoint validates and commits the current epoch.
+func (s *SafetyNet) Checkpoint(at simtime.Time) error {
+	if s.p == nil {
+		return errNotAttached
+	}
+	s.newEpoch(at)
+	return nil
+}
+
+// Rollback restores the last checkpoint.
+func (s *SafetyNet) Rollback() error { return s.rollback() }
+
+// Stats returns accumulated counters.
+func (s *SafetyNet) Stats() Stats { return s.stats }
+
+// Occupancy returns the CLB fill fraction.
+func (s *SafetyNet) Occupancy() float64 {
+	if s.CLBLines == 0 {
+		return 0
+	}
+	return float64(len(s.log)) / float64(s.CLBLines)
+}
+
+// PendingBytes returns the undo bytes accumulated this epoch.
+func (s *SafetyNet) PendingBytes() int { return s.pendingBytes() }
+
+// PageBytesFor returns the bytes a page-granularity tracker would save
+// for the same logged line set: the size of the distinct-page cover. This
+// is the E7 granularity comparison in one number.
+func PageBytesFor(lines []mem.Addr) int {
+	pages := make(map[mem.PageNum]bool)
+	for _, a := range lines {
+		pages[a.Page()] = true
+	}
+	return len(pages) * mem.PageSize
+}

@@ -1,0 +1,440 @@
+// Package integration holds cross-package end-to-end tests: randomized
+// restart-equivalence (the repository's core guarantee under arbitrary
+// mechanism/workload/timing combinations) and scenario tests that span
+// kernel, mechanisms, cluster and storage.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/costmodel"
+	"repro/internal/mechanism"
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/proc"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+	"repro/internal/syslevel"
+	"repro/internal/userlevel"
+	"repro/internal/workload"
+)
+
+func newMachine(name string, progs ...kernel.Program) *kernel.Kernel {
+	reg := kernel.NewRegistry()
+	for _, p := range progs {
+		reg.MustRegister(p)
+	}
+	return kernel.New(kernel.DefaultConfig(name), costmodel.Default2005(), reg)
+}
+
+// randomWorkload picks a workload with random parameters. Iteration
+// counts are sized so runs finish quickly but spill across many ticks.
+func randomWorkload(rng *rand.Rand) (kernel.Program, uint64) {
+	iters := uint64(10 + rng.Intn(20))
+	switch rng.Intn(4) {
+	case 0:
+		return workload.Dense{MiB: 1 + rng.Intn(3)}, iters
+	case 1:
+		return workload.Sparse{MiB: 1 + rng.Intn(4), WriteFrac: 0.05 + rng.Float64()*0.4, Seed: rng.Uint64()}, iters
+	case 2:
+		return workload.Stencil{MiB: 2 * (1 + rng.Intn(2))}, iters
+	default:
+		return workload.Phased{MiB: 1 + rng.Intn(2), Seed: rng.Uint64(), PhaseIters: uint64(1 + rng.Intn(3))}, iters
+	}
+}
+
+// randomMechanism picks a mechanism; all of these are storage-agnostic
+// enough to write to a local disk.
+func randomMechanism(rng *rand.Rand) func() mechanism.Mechanism {
+	mks := []func() mechanism.Mechanism{
+		func() mechanism.Mechanism { return syslevel.NewCRAK() },
+		func() mechanism.Mechanism { return syslevel.NewUCLiK() },
+		func() mechanism.Mechanism { return syslevel.NewCHPOX() },
+		func() mechanism.Mechanism { return syslevel.NewEPCKPT() },
+		func() mechanism.Mechanism { return syslevel.NewBLCR() },
+		func() mechanism.Mechanism { return syslevel.NewPsncRC() },
+		func() mechanism.Mechanism { return syslevel.NewTICK() },
+		func() mechanism.Mechanism { return syslevel.NewVMADump(0, nil) },
+		func() mechanism.Mechanism { return syslevel.NewCheckpointFork(0, nil) },
+		func() mechanism.Mechanism { return userlevel.NewLibCkpt(0, nil, false) },
+		func() mechanism.Mechanism { return userlevel.NewLibCkpt(0, nil, true) },
+		func() mechanism.Mechanism { return userlevel.NewCondorStyle() },
+	}
+	return mks[rng.Intn(len(mks))]
+}
+
+// TestRandomizedRestartEquivalence is the repository's core guarantee
+// under fuzzing: any workload, any mechanism, any number of checkpoints
+// at any times, killed at any point — the restarted run's fingerprint
+// matches an undisturbed run.
+func TestRandomizedRestartEquivalence(t *testing.T) {
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			prog, iters := randomWorkload(rng)
+			mk := randomMechanism(rng)
+
+			// Reference run.
+			ref := mk()
+			refProg := ref.Prepare(prog)
+			kr := newMachine("ref", refProg)
+			if err := ref.Install(kr); err != nil {
+				t.Fatal(err)
+			}
+			pr, err := kr.Spawn(refProg.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Setup(kr, pr); err != nil {
+				t.Fatal(err)
+			}
+			workload.SetIterations(pr, iters)
+			if !kr.RunUntilExit(pr, kr.Now().Add(10*simtime.Minute)) {
+				t.Fatalf("reference stuck at pc=%d", pr.Regs().PC)
+			}
+			want := workload.Fingerprint(pr)
+
+			// Checkpointed run: 1–3 checkpoints at random iteration points.
+			m := mk()
+			prepared := m.Prepare(prog)
+			k := newMachine("src", prepared)
+			if err := m.Install(k); err != nil {
+				t.Fatal(err)
+			}
+			p, err := k.Spawn(prepared.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Setup(k, p); err != nil {
+				t.Fatal(err)
+			}
+			workload.SetIterations(p, iters)
+			disk := storage.NewLocal("disk", costmodel.Default2005(), nil)
+
+			nCkpts := 1 + rng.Intn(3)
+			points := make([]uint64, nCkpts)
+			for i := range points {
+				points[i] = 1 + uint64(rng.Intn(int(iters)-2))
+			}
+			// Sort points ascending (simple insertion for tiny n).
+			for i := 1; i < len(points); i++ {
+				for j := i; j > 0 && points[j] < points[j-1]; j-- {
+					points[j], points[j-1] = points[j-1], points[j]
+				}
+			}
+
+			var leaf string
+			taken := 0
+			for _, pt := range points {
+				for p.Regs().PC < pt && p.State != proc.StateZombie {
+					k.RunFor(simtime.Millisecond)
+				}
+				if p.State == proc.StateZombie {
+					break
+				}
+				tk, err := mechanism.Checkpoint(m, k, p, disk, nil)
+				if err != nil {
+					t.Fatalf("checkpoint at pc=%d: %v", p.Regs().PC, err)
+				}
+				leaf = tk.Img.ObjectName()
+				taken++
+			}
+			if taken == 0 {
+				t.Skip("workload finished before the first checkpoint point")
+			}
+
+			// Kill and restart from the last image.
+			k.Exit(p, 137)
+			k.Procs.Remove(p.PID)
+			chain, err := checkpoint.LoadChain(disk, nil, leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := m.Restart(k, chain, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !k.RunUntilExit(p2, k.Now().Add(10*simtime.Minute)) {
+				t.Fatalf("restarted run stuck at pc=%d", p2.Regs().PC)
+			}
+			if got := workload.Fingerprint(p2); got != want {
+				t.Fatalf("mechanism %s, workload %s, %d ckpts at %v: fingerprint %#x, want %#x",
+					m.Name(), prog.Name(), taken, points, got, want)
+			}
+		})
+	}
+}
+
+// TestZAPVirtualPIDsNeverCollide restores two pods whose processes both
+// believe they are PID 2 onto one machine: with real-PID preservation
+// this would be impossible; with ZAP's virtual PIDs both run happily.
+func TestZAPVirtualPIDsNeverCollide(t *testing.T) {
+	prog := workload.ResourceUser{MiB: 1, Iterations: 3000, CheckPID: true}
+
+	capture := func(name string) *checkpoint.Image {
+		m := syslevel.NewZAP()
+		prepared := m.Prepare(prog)
+		k := newMachine(name, prepared)
+		if err := m.Install(k); err != nil {
+			t.Fatal(err)
+		}
+		p, err := k.Spawn(prepared.Name()) // pid 2 (the zap kthread is pid 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p.Regs().PC < 100 {
+			k.RunFor(100 * simtime.Microsecond)
+		}
+		tk, err := mechanism.Checkpoint(m, k, p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk.Img
+	}
+	imgA := capture("srcA")
+	imgB := capture("srcB")
+	if imgA.PID != imgB.PID {
+		t.Fatalf("test premise broken: pids %d vs %d", imgA.PID, imgB.PID)
+	}
+
+	mDst := syslevel.NewZAP()
+	dst := newMachine("dst", mDst.Prepare(prog))
+	if err := mDst.Install(dst); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := mDst.Restart(dst, []*checkpoint.Image{imgA}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := mDst.Restart(dst, []*checkpoint.Image{imgB}, true)
+	if err != nil {
+		t.Fatalf("second pod restore collided: %v", err)
+	}
+	if pa.PID == pb.PID {
+		t.Fatal("real PIDs collided")
+	}
+	if pa.VPID != imgA.PID || pb.VPID != imgB.PID {
+		t.Fatalf("virtual PIDs not preserved: %d/%d", pa.VPID, pb.VPID)
+	}
+	// Both processes' internal PID checks pass (getpid == stored pid).
+	for _, p := range []*proc.Process{pa, pb} {
+		if !dst.RunUntilExit(p, dst.Now().Add(simtime.Minute)) {
+			t.Fatal("pod stuck")
+		}
+		if p.ExitCode != workload.ExitOK {
+			t.Fatalf("pod exit %d, want OK", p.ExitCode)
+		}
+	}
+}
+
+// TestRestartFromMiddleOfChain restores from an interior image of an
+// incremental chain: the result must equal a reference run truncated at
+// that image's progress, i.e. the chain prefix is itself a valid
+// checkpoint.
+func TestRestartFromMiddleOfChain(t *testing.T) {
+	prog := workload.Sparse{MiB: 2, WriteFrac: 0.1, Seed: 77}
+	const iters = 30
+
+	m := syslevel.NewTICK()
+	k := newMachine("src", prog)
+	if err := m.Install(k); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.Spawn(prog.Name())
+	workload.SetIterations(p, iters)
+	disk := storage.NewLocal("disk", costmodel.Default2005(), nil)
+
+	var names []string
+	for _, pt := range []uint64{5, 10, 15} {
+		for p.Regs().PC < pt && p.State != proc.StateZombie {
+			k.RunFor(simtime.Millisecond)
+		}
+		tk, err := mechanism.Checkpoint(m, k, p, disk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, tk.Img.ObjectName())
+	}
+
+	// Restore from the middle image (a full + one delta): the process
+	// resumes from iteration ~10 and must still produce the reference
+	// final fingerprint.
+	want := func() uint64 {
+		kr := newMachine("ref", prog)
+		pr, _ := kr.Spawn(prog.Name())
+		workload.SetIterations(pr, iters)
+		kr.RunUntilExit(pr, kr.Now().Add(simtime.Minute))
+		return workload.Fingerprint(pr)
+	}()
+
+	for i, leaf := range names {
+		chain, err := checkpoint.LoadChain(disk, nil, leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chain) != i+1 {
+			t.Fatalf("chain %d has %d images", i, len(chain))
+		}
+		dst := newMachine(fmt.Sprintf("dst%d", i), prog)
+		p2, err := checkpoint.Restore(dst, chain, checkpoint.RestoreOptions{Enqueue: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dst.RunUntilExit(p2, dst.Now().Add(simtime.Minute)) {
+			t.Fatalf("restore from image %d stuck", i)
+		}
+		if got := workload.Fingerprint(p2); got != want {
+			t.Fatalf("restore from image %d: fingerprint %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// TestTICKInterruptDeferralAblation measures the §4.1 claim that a
+// mechanism to delay interrupts is needed to keep the kernel thread
+// undisturbed: with heavy background interrupts, deferral makes captures
+// faster and deterministic in cost.
+func TestTICKInterruptDeferralAblation(t *testing.T) {
+	captureTime := func(defer_ bool) simtime.Duration {
+		cfg := kernel.DefaultConfig("k")
+		cfg.InterruptRate = 50_000 // 50k interrupts/s
+		cfg.InterruptHandler = 30 * simtime.Microsecond
+		reg := kernel.NewRegistry()
+		prog := workload.Dense{MiB: 8}
+		reg.MustRegister(prog)
+		k := kernel.New(cfg, costmodel.Default2005(), reg)
+		m := syslevel.NewTICK()
+		m.DeferInterrupts = defer_
+		if err := m.Install(k); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := k.Spawn(prog.Name())
+		workload.SetIterations(p, 1<<30)
+		k.RunFor(5 * simtime.Millisecond)
+		tk, err := mechanism.Checkpoint(m, k, p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk.CaptureTime()
+	}
+	with := captureTime(true)
+	without := captureTime(false)
+	if without <= with {
+		t.Fatalf("interrupt deferral did not help: with %v, without %v", with, without)
+	}
+}
+
+// TestCheckpointUnderDiskFailure: storage dies mid-sequence; the
+// mechanism reports the error and the process keeps running unharmed.
+func TestCheckpointUnderDiskFailure(t *testing.T) {
+	prog := workload.Dense{MiB: 2}
+	k := newMachine("k", prog)
+	m := syslevel.NewCRAK()
+	if err := m.Install(k); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.Spawn(prog.Name())
+	workload.SetIterations(p, 1<<30)
+	k.RunFor(simtime.Millisecond)
+
+	alive := true
+	disk := storage.NewLocal("flaky", costmodel.Default2005(), func() bool { return alive })
+	if _, err := mechanism.Checkpoint(m, k, p, disk, nil); err != nil {
+		t.Fatal(err)
+	}
+	alive = false
+	tk, err := m.Request(k, p, disk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mechanism.WaitTicket(k, tk, simtime.Minute)
+	if tk.Err == nil {
+		t.Fatal("checkpoint to dead disk succeeded")
+	}
+	// The application is unharmed and still progressing.
+	pc := p.Regs().PC
+	k.RunFor(5 * simtime.Millisecond)
+	if p.Regs().PC <= pc {
+		t.Fatal("application stalled after failed checkpoint")
+	}
+}
+
+// sleeperApp computes, sleeps on a timer (an "external event"), and
+// computes again — the §4.1 "invalid state" scenario: a checkpoint taken
+// while the process waits for an event must not strand the restored
+// process waiting for an event that will never arrive.
+type sleeperApp struct{}
+
+func (sleeperApp) Name() string                   { return "sleeper-app" }
+func (sleeperApp) Init(ctx *kernel.Context) error { return nil }
+func (sleeperApp) Step(ctx *kernel.Context) (kernel.Status, error) {
+	r := ctx.Regs()
+	switch r.PC {
+	case 0:
+		r.G[3] = 0x1111
+		r.PC = 1
+		ctx.BlockFor(20*simtime.Millisecond, "device wait")
+		return kernel.StatusBlocked, nil
+	case 1:
+		// Runs after the wait completes (or after a restore re-executes
+		// this phase: re-arming the wait is part of the state machine).
+		r.G[3] = r.G[3]*31 + 0x2222
+		r.PC = 2
+		ctx.Exit(0)
+		return kernel.StatusExited, nil
+	default:
+		ctx.Exit(1)
+		return kernel.StatusExited, nil
+	}
+}
+
+// TestCheckpointOfBlockedProcess captures a process mid-sleep with a
+// kernel thread (which, unlike the signal mechanisms, can reach a blocked
+// process) and restarts it on a fresh machine where the original timer
+// event does not exist. The restored process must still finish: phase
+// state lives in registers, so the restored run re-enters phase 1
+// directly — the simulation's answer to the paper's unsaved-event hazard.
+func TestCheckpointOfBlockedProcess(t *testing.T) {
+	prog := sleeperApp{}
+	k := newMachine("src", prog)
+	m := syslevel.NewCRAK()
+	if err := m.Install(k); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.Spawn(prog.Name())
+	k.RunFor(5 * simtime.Millisecond)
+	if p.State != proc.StateBlocked {
+		t.Fatalf("process state %v, want blocked mid-sleep", p.State)
+	}
+	tk, err := mechanism.Checkpoint(m, k, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Img.Threads[0].Regs.PC != 1 {
+		t.Fatalf("captured at phase %d, want 1 (inside the wait)", tk.Img.Threads[0].Regs.PC)
+	}
+
+	// Restore on a machine with no trace of the timer event.
+	dst := newMachine("dst", prog)
+	p2, err := m.Restart(dst, []*checkpoint.Image{tk.Img}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.RunUntilExit(p2, dst.Now().Add(simtime.Minute)) {
+		t.Fatal("restored process stranded waiting for a lost event")
+	}
+	if p2.ExitCode != 0 || p2.Regs().G[3] != 0x1111*31+0x2222 {
+		t.Fatalf("exit %d result %#x", p2.ExitCode, p2.Regs().G[3])
+	}
+
+	// Meanwhile the original, never killed, also completes normally.
+	if !k.RunUntilExit(p, k.Now().Add(simtime.Minute)) {
+		t.Fatal("original stuck")
+	}
+	if p.Regs().G[3] != p2.Regs().G[3] {
+		t.Fatal("restored result differs from original")
+	}
+}

@@ -1,0 +1,11 @@
+package mechanism
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/simos/proc"
+)
+
+// fakeImage builds a minimal image for bookkeeping tests.
+func fakeImage(pid proc.PID, seq uint64) *checkpoint.Image {
+	return &checkpoint.Image{PID: pid, Seq: seq}
+}

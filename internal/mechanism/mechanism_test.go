@@ -1,0 +1,73 @@
+package mechanism
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/kernel"
+	"repro/internal/simtime"
+)
+
+func TestTicketTimings(t *testing.T) {
+	tk := &Ticket{RequestedAt: 100, StartedAt: 250, CompletedAt: 1000}
+	if tk.InitiationDelay() != 150 {
+		t.Fatalf("InitiationDelay = %v", tk.InitiationDelay())
+	}
+	if tk.CaptureTime() != 750 {
+		t.Fatalf("CaptureTime = %v", tk.CaptureTime())
+	}
+	if tk.Total() != 900 {
+		t.Fatalf("Total = %v", tk.Total())
+	}
+}
+
+func TestSeqsChainBookkeeping(t *testing.T) {
+	s := NewSeqs()
+	seq, parent := s.Next(5)
+	if seq != 1 || parent != "" {
+		t.Fatalf("first Next = %d %q", seq, parent)
+	}
+	// Commit is keyed by the image; emulate one.
+	img := fakeImage(5, 1)
+	s.Commit(img)
+	seq, parent = s.Next(5)
+	if seq != 2 || parent != img.ObjectName() {
+		t.Fatalf("second Next = %d %q", seq, parent)
+	}
+	// Another PID has its own chain.
+	seq, parent = s.Next(9)
+	if seq != 1 || parent != "" {
+		t.Fatalf("other pid Next = %d %q", seq, parent)
+	}
+	s.Reset(5)
+	seq, parent = s.Next(5)
+	if seq != 1 || parent != "" {
+		t.Fatalf("after Reset = %d %q", seq, parent)
+	}
+}
+
+func TestWaitTicketTimesOut(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig("k"), costmodel.Default2005(), kernel.NewRegistry())
+	tk := &Ticket{}
+	if err := WaitTicket(k, tk, 5*simtime.Millisecond); err == nil {
+		t.Fatal("WaitTicket on a never-done ticket returned nil")
+	}
+	tk.Done = true
+	if err := WaitTicket(k, tk, simtime.Millisecond); err != nil {
+		t.Fatalf("done ticket: %v", err)
+	}
+}
+
+func TestKernelEnvAdvancesTime(t *testing.T) {
+	k := kernel.New(kernel.DefaultConfig("k"), costmodel.Default2005(), kernel.NewRegistry())
+	env := KernelEnv(k, nil)
+	before := k.Now()
+	env.Wait(3*simtime.Millisecond, "disk")
+	if k.Now().Sub(before) < 3*simtime.Millisecond {
+		t.Fatal("Wait did not advance simulated time")
+	}
+	env.Bill.Charge(simtime.Millisecond, "x")
+	if k.Now().Sub(before) < 4*simtime.Millisecond {
+		t.Fatal("Bill did not advance simulated time")
+	}
+}

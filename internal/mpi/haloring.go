@@ -1,0 +1,173 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/mem"
+)
+
+// HaloRing is the parallel workload: ranks arranged in a ring exchange
+// fixed-size halo messages with both neighbours each iteration, then
+// relax their local grid — the communication structure of the domain-decomposed
+// scientific codes the paper's introduction motivates (SAGE, Sweep3D).
+//
+// Per the kernel.Program contract all mutable state lives in registers
+// and simulated memory; the Job pointer is "the MPI library" (code, not
+// state). Register map: PC = iteration; G[4] = phase (0 send, 1 recv,
+// 2 compute); G[5] = halo messages received this iteration; G[6] = page
+// cursor for the compute phase.
+type HaloRing struct {
+	Job  *Job
+	Rank int
+
+	MiB        int
+	HaloBytes  int
+	Iterations uint64
+	// PagesPerIter is the compute footprint per iteration (default:
+	// whole arena).
+	PagesPerIter int
+}
+
+// Phases.
+const (
+	phaseSend = iota
+	phaseRecv
+	phaseCompute
+)
+
+// Name implements kernel.Program.
+func (h HaloRing) Name() string {
+	return fmt.Sprintf("haloring[rank=%d,mib=%d]", h.Rank, h.MiB)
+}
+
+func (h HaloRing) haloBytes() int {
+	if h.HaloBytes <= 0 {
+		return 8 << 10
+	}
+	return h.HaloBytes
+}
+
+// Init implements kernel.Program.
+func (h HaloRing) Init(ctx *kernel.Context) error {
+	ctx.Regs().G[1] = h.Iterations
+	_, err := ctx.P.AS.Map(0x1000_0000, uint64(h.MiB)<<20, mem.ProtRW, mem.KindAnon, "arena")
+	return err
+}
+
+// left and right neighbours on the ring.
+func (h HaloRing) neighbours() (int, int) {
+	n := h.Job.NRanks
+	return (h.Rank + n - 1) % n, (h.Rank + 1) % n
+}
+
+// Step implements kernel.Program.
+func (h HaloRing) Step(ctx *kernel.Context) (kernel.Status, error) {
+	r := ctx.Regs()
+	if r.G[1] != 0 && r.PC >= r.G[1] {
+		ctx.Exit(0)
+		return kernel.StatusExited, nil
+	}
+	switch r.G[4] {
+	case phaseSend:
+		// Coordination point: pause here when a checkpoint is pending
+		// and this iteration is at/past the agreed boundary.
+		if h.Job.shouldPause(r.PC) {
+			h.Job.enterBarrier(ctx, h.Rank)
+			return kernel.StatusBlocked, nil
+		}
+		left, right := h.neighbours()
+		payload := make([]byte, h.haloBytes())
+		// Halo contents derive from rank, iteration and checksum so that
+		// received data feeds the fingerprint deterministically.
+		seed := r.G[3] ^ uint64(h.Rank)<<32 ^ r.PC
+		for i := range payload {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			payload[i] = byte(seed >> 56)
+		}
+		h.Job.send(ctx, envelope{From: h.Rank, To: left, Iter: r.PC, Data: payload})
+		h.Job.send(ctx, envelope{From: h.Rank, To: right, Iter: r.PC, Data: payload})
+		r.G[4] = phaseRecv
+		r.G[5] = 0
+		return kernel.StatusRunning, nil
+
+	case phaseRecv:
+		left, right := h.neighbours()
+		for r.G[5] < 2 {
+			from := left
+			if r.G[5] == 1 {
+				from = right
+			}
+			env, ok := h.Job.tryRecvFrom(h.Rank, from, r.PC)
+			if !ok {
+				// Block until a message arrives; the Job wakes us.
+				rs := h.Job.ranks[h.Rank]
+				rs.waiting = true
+				ctx.P.WaitReason = "mpi recv"
+				return kernel.StatusBlocked, nil
+			}
+			// Digest the halo. The XOR accumulation in G[2] is
+			// commutative, so the fingerprint is independent of message
+			// arrival order (which checkpointing perturbs).
+			var acc uint64
+			for i, b := range env.Data {
+				acc = acc*131 + uint64(b) + uint64(i)
+			}
+			r.G[2] ^= splitmix(acc ^ uint64(env.From)<<1)
+			// Store the halo row into a sender-specific edge page so it
+			// is part of the checkpointable image.
+			edgeIdx := 1
+			if env.From == left {
+				edgeIdx = 0
+			}
+			edge := mem.Addr(0x1000_0000) + mem.Addr(edgeIdx*mem.PageSize)
+			n := h.haloBytes()
+			if n > mem.PageSize {
+				n = mem.PageSize
+			}
+			if err := ctx.Store(edge, env.Data[:n]); err != nil {
+				return kernel.StatusExited, err
+			}
+			r.G[5]++
+		}
+		// Fold the iteration's combined digest into the fingerprint.
+		r.G[3] = splitmix(r.G[3] ^ r.G[2])
+		r.G[2] = 0
+		r.G[4] = phaseCompute
+		r.G[6] = 0
+		return kernel.StatusRunning, nil
+
+	default: // phaseCompute
+		total := uint64(h.MiB) << 20 >> mem.PageShift
+		quota := total
+		if h.PagesPerIter > 0 && uint64(h.PagesPerIter) < total {
+			quota = uint64(h.PagesPerIter)
+		}
+		var buf [mem.PageSize]byte
+		for i := 0; i < 32; i++ {
+			if r.G[6] >= quota {
+				r.G[6] = 0
+				r.G[4] = phaseSend
+				r.PC++
+				return kernel.StatusRunning, nil
+			}
+			pg := r.G[6] % total
+			buf[0] = byte(r.PC)
+			buf[1] = byte(pg)
+			if err := ctx.Store(mem.Addr(0x1000_0000)+mem.Addr(pg<<mem.PageShift), buf[:]); err != nil {
+				return kernel.StatusExited, err
+			}
+			ctx.Compute(3000)
+			r.G[3] = splitmix(r.G[3] ^ pg<<16 ^ r.PC)
+			r.G[6]++
+		}
+		return kernel.StatusRunning, nil
+	}
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

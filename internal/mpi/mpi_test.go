@@ -1,0 +1,245 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/mechanism"
+	"repro/internal/simos/kernel"
+	"repro/internal/simtime"
+	"repro/internal/syslevel"
+)
+
+func newCluster(nodes int, seed int64) *cluster.Cluster {
+	return cluster.New(
+		cluster.Config{Nodes: nodes, Seed: seed, KernelCfg: kernel.DefaultConfig("")},
+		costmodel.Default2005(), kernel.NewRegistry())
+}
+
+func mkLAM() mechanism.Mechanism { return syslevel.NewLAMMPI() }
+
+func launch(t *testing.T, c *cluster.Cluster, nRanks int, iters uint64) *Job {
+	t.Helper()
+	j := NewJob(c, nRanks, mkLAM)
+	if err := j.Launch(HaloRing{MiB: 1, Iterations: iters, PagesPerIter: 16, HaloBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// referenceFingerprints runs an identical job to completion untouched.
+func referenceFingerprints(t *testing.T, nRanks, nodes int, iters uint64) []uint64 {
+	t.Helper()
+	c := newCluster(nodes, 1)
+	j := launch(t, c, nRanks, iters)
+	if !j.RunUntilDone(10 * simtime.Minute) {
+		t.Fatal("reference job stuck")
+	}
+	fps, err := j.Fingerprints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fps
+}
+
+func TestJobRunsToCompletion(t *testing.T) {
+	c := newCluster(2, 1)
+	j := launch(t, c, 4, 10)
+	if !j.RunUntilDone(10 * simtime.Minute) {
+		t.Fatal("job stuck")
+	}
+	if j.MessagesSent != 4*10*2 {
+		t.Fatalf("messages sent = %d, want 80", j.MessagesSent)
+	}
+	fps, _ := j.Fingerprints()
+	for r, fp := range fps {
+		if fp == 0 {
+			t.Fatalf("rank %d fingerprint zero", r)
+		}
+	}
+}
+
+func TestRanksProgressInLockStep(t *testing.T) {
+	c := newCluster(3, 1)
+	j := launch(t, c, 6, 1<<30)
+	c.RunFor(20 * simtime.Millisecond)
+	var minPC, maxPC uint64 = 1 << 62, 0
+	for r := 0; r < j.NRanks; r++ {
+		p, err := j.proc(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := p.Regs().PC
+		if pc < minPC {
+			minPC = pc
+		}
+		if pc > maxPC {
+			maxPC = pc
+		}
+	}
+	if minPC == 0 {
+		t.Fatal("a rank made no progress")
+	}
+	if maxPC-minPC > 1 {
+		t.Fatalf("rank skew %d, lock-step bound is 1", maxPC-minPC)
+	}
+}
+
+func TestCoordinatedCheckpointDrainsAndCaptures(t *testing.T) {
+	c := newCluster(2, 1)
+	j := launch(t, c, 4, 1<<30)
+	c.RunFor(5 * simtime.Millisecond)
+
+	srv := c.Node(0).Remote()
+	var imgs []*checkpoint.Image
+	if err := j.RequestCheckpoint(srv, func(got []*checkpoint.Image) { imgs = got }); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RequestCheckpoint(srv, nil); err == nil {
+		t.Fatal("concurrent checkpoint accepted")
+	}
+	if err := j.WaitCheckpoint(simtime.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 4 {
+		t.Fatalf("captured %d images", len(imgs))
+	}
+	if j.LastDrainTime <= 0 {
+		t.Fatal("no drain time recorded")
+	}
+	// All ranks at the same iteration in their images (global consistency).
+	iter := imgs[0].Threads[0].Regs.PC
+	for r, img := range imgs {
+		if img.Threads[0].Regs.PC != iter {
+			t.Fatalf("rank %d captured at iter %d, rank 0 at %d", r, img.Threads[0].Regs.PC, iter)
+		}
+	}
+	// The job keeps running after the checkpoint.
+	before, _ := j.Fingerprints()
+	c.RunFor(5 * simtime.Millisecond)
+	after, _ := j.Fingerprints()
+	if before[0] == after[0] {
+		t.Fatal("job frozen after checkpoint")
+	}
+}
+
+func TestRestartReproducesResult(t *testing.T) {
+	const nRanks, iters = 4, 80
+	want := referenceFingerprints(t, nRanks, 2, iters)
+
+	c := newCluster(2, 1)
+	j := launch(t, c, nRanks, iters)
+	c.RunFor(4 * simtime.Millisecond)
+
+	var imgs []*checkpoint.Image
+	if err := j.RequestCheckpoint(nil, func(got []*checkpoint.Image) { imgs = got }); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WaitCheckpoint(simtime.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if imgs == nil {
+		t.Fatal("no images")
+	}
+
+	// Let the job run on a bit, then "fail": kill everything and restart
+	// from the images on the same nodes.
+	c.RunFor(3 * simtime.Millisecond)
+	if err := j.Restart(imgs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !j.RunUntilDone(10 * simtime.Minute) {
+		t.Fatal("restarted job stuck")
+	}
+	got, err := j.Fingerprints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("rank %d fingerprint %#x, want %#x", r, got[r], want[r])
+		}
+	}
+}
+
+func TestRestartOnDifferentNodes(t *testing.T) {
+	const nRanks, iters = 2, 80
+	want := referenceFingerprints(t, nRanks, 4, iters)
+
+	c := newCluster(4, 1)
+	j := launch(t, c, nRanks, iters)
+	c.RunFor(4 * simtime.Millisecond)
+	var imgs []*checkpoint.Image
+	j.RequestCheckpoint(nil, func(got []*checkpoint.Image) { imgs = got })
+	if err := j.WaitCheckpoint(simtime.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 0 fails; move its rank to node 2 (rank 1 stays on node 1).
+	c.Fail(0)
+	if err := j.Restart(imgs, []int{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !j.RunUntilDone(10 * simtime.Minute) {
+		t.Fatal("migrated job stuck")
+	}
+	got, _ := j.Fingerprints()
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("rank %d fingerprint %#x, want %#x", r, got[r], want[r])
+		}
+	}
+}
+
+func TestRestartRejectsDeadTarget(t *testing.T) {
+	c := newCluster(2, 1)
+	j := launch(t, c, 2, 1<<30)
+	c.RunFor(3 * simtime.Millisecond)
+	var imgs []*checkpoint.Image
+	j.RequestCheckpoint(nil, func(got []*checkpoint.Image) { imgs = got })
+	if err := j.WaitCheckpoint(simtime.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Fail(1)
+	if err := j.Restart(imgs, []int{0, 1}); err == nil {
+		t.Fatal("restart onto a dead node accepted")
+	}
+}
+
+func TestDrainTimeGrowsWithRanks(t *testing.T) {
+	drain := func(nRanks int) simtime.Duration {
+		c := newCluster(4, 1)
+		j := NewJob(c, nRanks, mkLAM)
+		if err := j.Launch(HaloRing{MiB: 2, Iterations: 1 << 30, PagesPerIter: 64, HaloBytes: 8192}); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(5 * simtime.Millisecond)
+		if err := j.RequestCheckpoint(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.WaitCheckpoint(simtime.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return j.LastDrainTime
+	}
+	d2 := drain(2)
+	d8 := drain(8)
+	if d8 <= 0 || d2 <= 0 {
+		t.Fatal("no drain measured")
+	}
+	// With more ranks sharing 4 nodes, reaching the global barrier takes
+	// longer (each node time-slices more ranks per iteration).
+	if d8 < d2 {
+		t.Fatalf("drain(8 ranks)=%v < drain(2 ranks)=%v", d8, d2)
+	}
+}
+
+func TestLaunchTwiceFails(t *testing.T) {
+	c := newCluster(2, 1)
+	j := launch(t, c, 2, 10)
+	if err := j.Launch(HaloRing{MiB: 1}); err == nil {
+		t.Fatal("double launch accepted")
+	}
+}

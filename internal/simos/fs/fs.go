@@ -1,0 +1,377 @@
+// Package fs is the simulated filesystem: regular files, the Unix
+// unlink-with-open-descriptors semantics that UCLiK's restart handles
+// ("identifies deleted files during restart" and restores their contents),
+// and the two pseudo namespaces kernel modules extend — /dev device nodes
+// with an ioctl interface (CRAK, BLCR, PsncR/C) and /proc entries with
+// read/write handlers (CHPOX, PsncR/C).
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotFound  = errors.New("fs: no such file")
+	ErrExists    = errors.New("fs: file exists")
+	ErrIsDevice  = errors.New("fs: operation not valid on device node")
+	ErrNotDevice = errors.New("fs: not a device node")
+	ErrNotProc   = errors.New("fs: not a /proc entry")
+	ErrBadOffset = errors.New("fs: negative offset")
+)
+
+// NodeKind classifies namespace entries.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindRegular NodeKind = iota
+	KindDevice
+	KindProc
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindRegular:
+		return "regular"
+	case KindDevice:
+		return "device"
+	case KindProc:
+		return "proc"
+	}
+	return "?"
+}
+
+// Inode holds file contents. It outlives its directory entry while open
+// descriptors reference it (POSIX unlink semantics).
+type Inode struct {
+	data    []byte
+	nlink   int
+	opens   int
+	deleted bool // true once the last link is gone
+}
+
+// Size returns the file length in bytes.
+func (ino *Inode) Size() int64 { return int64(len(ino.data)) }
+
+// Deleted reports whether the inode has no remaining directory entries.
+func (ino *Inode) Deleted() bool { return ino.deleted }
+
+// Snapshot returns a copy of the contents (checkpointing open files).
+func (ino *Inode) Snapshot() []byte { return append([]byte(nil), ino.data...) }
+
+// DeviceOps are the operations a kernel module attaches to a /dev node.
+// ctx is opaque kernel-supplied context (the calling process).
+type DeviceOps struct {
+	Read  func(ctx any, buf []byte) (int, error)
+	Write func(ctx any, data []byte) (int, error)
+	// Ioctl is the control interface CRAK/BLCR/PsncR/C use to pass the
+	// pid of the process to checkpoint.
+	Ioctl func(ctx any, request uint, arg any) error
+}
+
+// ProcOps are the handlers behind a /proc entry.
+type ProcOps struct {
+	Read  func(ctx any) ([]byte, error)
+	Write func(ctx any, data []byte) error
+}
+
+// Node is one namespace entry.
+type Node struct {
+	Path string
+	Kind NodeKind
+
+	ino  *Inode
+	dev  *DeviceOps
+	proc *ProcOps
+}
+
+// Inode returns the node's inode (nil for device and proc nodes). It is
+// how kernel-level checkpointers reach file contents directly — e.g. to
+// save the contents of deleted-but-open files.
+func (n *Node) Inode() *Inode { return n.ino }
+
+// FS is a flat-namespace filesystem (paths are opaque keys; directories
+// are implied by prefixes, which is all the mechanisms need).
+type FS struct {
+	nodes map[string]*Node
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{nodes: make(map[string]*Node)}
+}
+
+func cleanPath(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return p
+}
+
+// Create makes (or truncates) a regular file and returns its node.
+func (f *FS) Create(path string) *Node {
+	path = cleanPath(path)
+	n, ok := f.nodes[path]
+	if ok && n.Kind == KindRegular {
+		n.ino.data = nil
+		return n
+	}
+	n = &Node{Path: path, Kind: KindRegular, ino: &Inode{nlink: 1}}
+	f.nodes[path] = n
+	return n
+}
+
+// WriteFile creates path with the given contents.
+func (f *FS) WriteFile(path string, data []byte) *Node {
+	n := f.Create(path)
+	n.ino.data = append([]byte(nil), data...)
+	return n
+}
+
+// ReadFile returns a copy of a regular file's contents.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	n, ok := f.nodes[cleanPath(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if n.Kind != KindRegular {
+		return nil, ErrIsDevice
+	}
+	return n.ino.Snapshot(), nil
+}
+
+// Lookup returns the node at path.
+func (f *FS) Lookup(path string) (*Node, error) {
+	n, ok := f.nodes[cleanPath(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return n, nil
+}
+
+// Exists reports whether path names a node.
+func (f *FS) Exists(path string) bool {
+	_, ok := f.nodes[cleanPath(path)]
+	return ok
+}
+
+// Unlink removes the directory entry. Content survives while open
+// descriptors reference the inode; the inode is marked deleted, which is
+// the condition UCLiK detects at restart.
+func (f *FS) Unlink(path string) error {
+	path = cleanPath(path)
+	n, ok := f.nodes[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(f.nodes, path)
+	if n.Kind == KindRegular {
+		n.ino.nlink--
+		if n.ino.nlink <= 0 {
+			n.ino.deleted = true
+		}
+	}
+	return nil
+}
+
+// List returns all paths with the given prefix, sorted.
+func (f *FS) List(prefix string) []string {
+	prefix = cleanPath(prefix)
+	var out []string
+	for p := range f.nodes {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterDevice creates a /dev node backed by ops (kernel-module load).
+func (f *FS) RegisterDevice(path string, ops *DeviceOps) (*Node, error) {
+	path = cleanPath(path)
+	if _, ok := f.nodes[path]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	n := &Node{Path: path, Kind: KindDevice, dev: ops}
+	f.nodes[path] = n
+	return n, nil
+}
+
+// RegisterProc creates a /proc entry backed by ops.
+func (f *FS) RegisterProc(path string, ops *ProcOps) (*Node, error) {
+	path = cleanPath(path)
+	if _, ok := f.nodes[path]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	n := &Node{Path: path, Kind: KindProc, proc: ops}
+	f.nodes[path] = n
+	return n, nil
+}
+
+// Remove deletes a device or proc node (kernel-module unload).
+func (f *FS) Remove(path string) error {
+	path = cleanPath(path)
+	if _, ok := f.nodes[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(f.nodes, path)
+	return nil
+}
+
+// OpenFlags mirror the bits a checkpoint must record per descriptor.
+type OpenFlags uint8
+
+// Open flags.
+const (
+	ORead OpenFlags = 1 << iota
+	OWrite
+	OAppend
+	OCreate
+)
+
+func (o OpenFlags) String() string {
+	var parts []string
+	if o&ORead != 0 {
+		parts = append(parts, "r")
+	}
+	if o&OWrite != 0 {
+		parts = append(parts, "w")
+	}
+	if o&OAppend != 0 {
+		parts = append(parts, "a")
+	}
+	if o&OCreate != 0 {
+		parts = append(parts, "c")
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "")
+}
+
+// OpenFile is an open file description: node + offset + flags. The offset
+// is exactly what user-level checkpointers must extract with lseek() and
+// what a restart must restore.
+type OpenFile struct {
+	Node   *Node
+	Flags  OpenFlags
+	offset int64
+}
+
+// Open opens path, creating it if OCreate is set.
+func (f *FS) Open(path string, flags OpenFlags) (*OpenFile, error) {
+	path = cleanPath(path)
+	n, ok := f.nodes[path]
+	if !ok {
+		if flags&OCreate == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		n = f.Create(path)
+	}
+	if n.Kind == KindRegular {
+		n.ino.opens++
+	}
+	of := &OpenFile{Node: n, Flags: flags}
+	if flags&OAppend != 0 && n.Kind == KindRegular {
+		of.offset = n.ino.Size()
+	}
+	return of, nil
+}
+
+// Close releases the description.
+func (of *OpenFile) Close() {
+	if of.Node.Kind == KindRegular && of.Node.ino.opens > 0 {
+		of.Node.ino.opens--
+	}
+}
+
+// Offset returns the current file position (lseek(fd, 0, SEEK_CUR)).
+func (of *OpenFile) Offset() int64 { return of.offset }
+
+// SeekTo sets the absolute file position (lseek(fd, off, SEEK_SET)).
+func (of *OpenFile) SeekTo(off int64) error {
+	if off < 0 {
+		return ErrBadOffset
+	}
+	of.offset = off
+	return nil
+}
+
+// Read reads from the current offset, advancing it.
+func (of *OpenFile) Read(ctx any, buf []byte) (int, error) {
+	switch of.Node.Kind {
+	case KindDevice:
+		if of.Node.dev.Read == nil {
+			return 0, ErrIsDevice
+		}
+		return of.Node.dev.Read(ctx, buf)
+	case KindProc:
+		if of.Node.proc.Read == nil {
+			return 0, ErrNotProc
+		}
+		data, err := of.Node.proc.Read(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if of.offset >= int64(len(data)) {
+			return 0, nil
+		}
+		n := copy(buf, data[of.offset:])
+		of.offset += int64(n)
+		return n, nil
+	default:
+		ino := of.Node.ino
+		if of.offset >= ino.Size() {
+			return 0, nil
+		}
+		n := copy(buf, ino.data[of.offset:])
+		of.offset += int64(n)
+		return n, nil
+	}
+}
+
+// Write writes at the current offset, extending the file as needed.
+func (of *OpenFile) Write(ctx any, data []byte) (int, error) {
+	switch of.Node.Kind {
+	case KindDevice:
+		if of.Node.dev.Write == nil {
+			return 0, ErrIsDevice
+		}
+		return of.Node.dev.Write(ctx, data)
+	case KindProc:
+		if of.Node.proc.Write == nil {
+			return 0, ErrNotProc
+		}
+		if err := of.Node.proc.Write(ctx, data); err != nil {
+			return 0, err
+		}
+		return len(data), nil
+	default:
+		ino := of.Node.ino
+		end := of.offset + int64(len(data))
+		if end > int64(len(ino.data)) {
+			grown := make([]byte, end)
+			copy(grown, ino.data)
+			ino.data = grown
+		}
+		copy(ino.data[of.offset:], data)
+		of.offset = end
+		return len(data), nil
+	}
+}
+
+// Ioctl issues a device control request (the CRAK/BLCR interface).
+func (of *OpenFile) Ioctl(ctx any, request uint, arg any) error {
+	if of.Node.Kind != KindDevice {
+		return ErrNotDevice
+	}
+	if of.Node.dev.Ioctl == nil {
+		return ErrNotDevice
+	}
+	return of.Node.dev.Ioctl(ctx, request, arg)
+}

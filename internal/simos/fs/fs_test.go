@@ -1,0 +1,340 @@
+package fs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateReadWrite(t *testing.T) {
+	f := New()
+	f.WriteFile("/data/input", []byte("hello"))
+	got, err := f.ReadFile("/data/input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("ReadFile = %q", got)
+	}
+	// Create truncates.
+	f.Create("/data/input")
+	got, _ = f.ReadFile("/data/input")
+	if len(got) != 0 {
+		t.Fatalf("Create did not truncate: %q", got)
+	}
+}
+
+func TestOpenReadWriteOffsets(t *testing.T) {
+	f := New()
+	f.WriteFile("/f", []byte("0123456789"))
+	of, err := f.Open("/f", ORead|OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := of.Read(nil, buf)
+	if err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("Read = %d %q %v", n, buf, err)
+	}
+	if of.Offset() != 4 {
+		t.Fatalf("Offset = %d, want 4", of.Offset())
+	}
+	if _, err := of.Write(nil, []byte("AB")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := f.ReadFile("/f")
+	if string(data) != "0123AB6789" {
+		t.Fatalf("after write: %q", data)
+	}
+	if err := of.SeekTo(-1); !errors.Is(err, ErrBadOffset) {
+		t.Fatal("negative seek accepted")
+	}
+	if err := of.SeekTo(100); err != nil {
+		t.Fatal(err)
+	}
+	// Write past EOF extends with zero gap.
+	of.Write(nil, []byte("Z"))
+	data, _ = f.ReadFile("/f")
+	if len(data) != 101 || data[100] != 'Z' || data[50] != 0 {
+		t.Fatalf("sparse extension wrong: len=%d", len(data))
+	}
+}
+
+func TestOpenAppendStartsAtEOF(t *testing.T) {
+	f := New()
+	f.WriteFile("/log", []byte("abc"))
+	of, err := f.Open("/log", OWrite|OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if of.Offset() != 3 {
+		t.Fatalf("append offset = %d", of.Offset())
+	}
+}
+
+func TestOpenCreate(t *testing.T) {
+	f := New()
+	if _, err := f.Open("/missing", ORead); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	of, err := f.Open("/new", OWrite|OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of.Write(nil, []byte("x"))
+	if !f.Exists("/new") {
+		t.Fatal("OCreate did not create")
+	}
+}
+
+func TestUnlinkKeepsOpenInode(t *testing.T) {
+	f := New()
+	f.WriteFile("/tmp/scratch", []byte("precious"))
+	of, _ := f.Open("/tmp/scratch", ORead)
+	if err := f.Unlink("/tmp/scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Exists("/tmp/scratch") {
+		t.Fatal("path still visible after unlink")
+	}
+	// Content still readable through the open description — this is what a
+	// checkpoint of an fd to a deleted file must capture (UCLiK).
+	buf := make([]byte, 8)
+	n, err := of.Read(nil, buf)
+	if err != nil || string(buf[:n]) != "precious" {
+		t.Fatalf("read after unlink: %q %v", buf[:n], err)
+	}
+	if !of.Node.ino.Deleted() {
+		t.Fatal("inode not marked deleted")
+	}
+}
+
+func TestDeviceNodeIoctl(t *testing.T) {
+	f := New()
+	var gotReq uint
+	var gotArg any
+	_, err := f.RegisterDevice("/dev/crak", &DeviceOps{
+		Ioctl: func(ctx any, req uint, arg any) error {
+			gotReq, gotArg = req, arg
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RegisterDevice("/dev/crak", &DeviceOps{}); !errors.Is(err, ErrExists) {
+		t.Fatal("duplicate device accepted")
+	}
+	of, err := f.Open("/dev/crak", ORead|OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := of.Ioctl(nil, 42, 123); err != nil {
+		t.Fatal(err)
+	}
+	if gotReq != 42 || gotArg != 123 {
+		t.Fatalf("ioctl saw %d %v", gotReq, gotArg)
+	}
+	// Ioctl on a regular file is rejected.
+	f.WriteFile("/plain", nil)
+	pf, _ := f.Open("/plain", ORead)
+	if err := pf.Ioctl(nil, 1, nil); !errors.Is(err, ErrNotDevice) {
+		t.Fatal("ioctl on regular file accepted")
+	}
+}
+
+func TestProcEntryReadWrite(t *testing.T) {
+	f := New()
+	var registered []byte
+	_, err := f.RegisterProc("/proc/chpox", &ProcOps{
+		Read:  func(ctx any) ([]byte, error) { return []byte("registered: 2\n"), nil },
+		Write: func(ctx any, data []byte) error { registered = append([]byte(nil), data...); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	of, _ := f.Open("/proc/chpox", ORead|OWrite)
+	if _, err := of.Write(nil, []byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if string(registered) != "1234" {
+		t.Fatalf("proc write handler saw %q", registered)
+	}
+	buf := make([]byte, 64)
+	n, err := of.Read(nil, buf)
+	if err != nil || string(buf[:n]) != "registered: 2\n" {
+		t.Fatalf("proc read = %q %v", buf[:n], err)
+	}
+}
+
+func TestRemoveModuleNodes(t *testing.T) {
+	f := New()
+	f.RegisterDevice("/dev/blcr", &DeviceOps{})
+	if err := f.Remove("/dev/blcr"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Exists("/dev/blcr") {
+		t.Fatal("device survives Remove")
+	}
+	if err := f.Remove("/dev/blcr"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double Remove accepted")
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	f := New()
+	f.WriteFile("/ckpt/a", nil)
+	f.WriteFile("/ckpt/b", nil)
+	f.WriteFile("/other", nil)
+	got := f.List("/ckpt/")
+	if len(got) != 2 || got[0] != "/ckpt/a" || got[1] != "/ckpt/b" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestPathNormalization(t *testing.T) {
+	f := New()
+	f.WriteFile("noslash", []byte("x"))
+	if _, err := f.ReadFile("/noslash"); err != nil {
+		t.Fatal("path not normalized on create")
+	}
+}
+
+func TestOpenFlagsString(t *testing.T) {
+	if (ORead | OWrite).String() != "rw" {
+		t.Fatalf("flags = %s", ORead|OWrite)
+	}
+	if OpenFlags(0).String() != "-" {
+		t.Fatal("zero flags")
+	}
+}
+
+// Property: sequential writes then a full read through an OpenFile always
+// reproduce the concatenation.
+func TestQuickSequentialWriteRead(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		fsys := New()
+		of, err := fsys.Open("/q", OWrite|OCreate)
+		if err != nil {
+			return false
+		}
+		var want []byte
+		for _, c := range chunks {
+			of.Write(nil, c)
+			want = append(want, c...)
+		}
+		got, err := fsys.ReadFile("/q")
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupAndNodeKinds(t *testing.T) {
+	f := New()
+	f.WriteFile("/r", []byte("x"))
+	f.RegisterDevice("/dev/d", &DeviceOps{})
+	f.RegisterProc("/proc/p", &ProcOps{})
+	for path, kind := range map[string]NodeKind{
+		"/r": KindRegular, "/dev/d": KindDevice, "/proc/p": KindProc,
+	} {
+		n, err := f.Lookup(path)
+		if err != nil || n.Kind != kind {
+			t.Fatalf("Lookup(%s) = %v/%v", path, n, err)
+		}
+		if n.Kind.String() == "?" {
+			t.Fatal("kind string")
+		}
+	}
+	if _, err := f.Lookup("/missing"); err == nil {
+		t.Fatal("missing lookup succeeded")
+	}
+}
+
+func TestDeviceReadWriteHandlers(t *testing.T) {
+	f := New()
+	var wrote []byte
+	f.RegisterDevice("/dev/x", &DeviceOps{
+		Read:  func(ctx any, buf []byte) (int, error) { return copy(buf, "dev-data"), nil },
+		Write: func(ctx any, data []byte) (int, error) { wrote = append([]byte(nil), data...); return len(data), nil },
+	})
+	of, _ := f.Open("/dev/x", ORead|OWrite)
+	buf := make([]byte, 8)
+	n, err := of.Read(nil, buf)
+	if err != nil || string(buf[:n]) != "dev-data" {
+		t.Fatalf("device read: %q %v", buf[:n], err)
+	}
+	if _, err := of.Write(nil, []byte("cmd")); err != nil || string(wrote) != "cmd" {
+		t.Fatalf("device write: %q %v", wrote, err)
+	}
+	// A device without handlers rejects the ops.
+	f.RegisterDevice("/dev/null0", &DeviceOps{})
+	nf, _ := f.Open("/dev/null0", ORead|OWrite)
+	if _, err := nf.Read(nil, buf); err == nil {
+		t.Fatal("read on handlerless device succeeded")
+	}
+	if _, err := nf.Write(nil, buf); err == nil {
+		t.Fatal("write on handlerless device succeeded")
+	}
+	if err := nf.Ioctl(nil, 1, nil); err == nil {
+		t.Fatal("ioctl on handlerless device succeeded")
+	}
+}
+
+func TestProcWithoutHandlers(t *testing.T) {
+	f := New()
+	f.RegisterProc("/proc/empty", &ProcOps{})
+	of, _ := f.Open("/proc/empty", ORead|OWrite)
+	if _, err := of.Read(nil, make([]byte, 4)); err == nil {
+		t.Fatal("read on handlerless proc entry succeeded")
+	}
+	if _, err := of.Write(nil, []byte("x")); err == nil {
+		t.Fatal("write on handlerless proc entry succeeded")
+	}
+}
+
+func TestProcReadRespectsOffset(t *testing.T) {
+	f := New()
+	f.RegisterProc("/proc/info", &ProcOps{
+		Read: func(ctx any) ([]byte, error) { return []byte("0123456789"), nil },
+	})
+	of, _ := f.Open("/proc/info", ORead)
+	buf := make([]byte, 4)
+	of.Read(nil, buf)
+	n, _ := of.Read(nil, buf)
+	if string(buf[:n]) != "4567" {
+		t.Fatalf("second proc read %q", buf[:n])
+	}
+	of.Read(nil, buf)
+	if n, _ := of.Read(nil, buf); n != 0 {
+		t.Fatalf("read past proc EOF returned %d", n)
+	}
+}
+
+func TestInodeBookkeeping(t *testing.T) {
+	f := New()
+	n := f.WriteFile("/f", []byte("abc"))
+	if n.Inode().Size() != 3 {
+		t.Fatal("size")
+	}
+	snap := n.Inode().Snapshot()
+	snap[0] = 'X'
+	if data, _ := f.ReadFile("/f"); data[0] != 'a' {
+		t.Fatal("snapshot aliased inode data")
+	}
+	of, _ := f.Open("/f", ORead)
+	of.Close()
+	of.Close() // double close is harmless
+	if _, err := f.ReadFile("/dev/null0"); err == nil {
+		_ = err
+	}
+}

@@ -1,0 +1,376 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/simos/fs"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+	"repro/internal/simos/sig"
+	"repro/internal/simtime"
+)
+
+// Context is the execution context handed to Program.Step: the syscall
+// API plus direct (user-mode) memory access. Every syscall charges the
+// mode-switch cost the paper highlights as the user-level checkpointing
+// tax (§3), and bumps the kernel's syscall counter so experiments can
+// report syscalls-per-checkpoint.
+type Context struct {
+	K *Kernel
+	P *proc.Process
+	T *proc.Thread
+}
+
+// Regs returns the current thread's register file.
+func (c *Context) Regs() *proc.Regs { return &c.T.Regs }
+
+// Compute charges n cycles of pure CPU work.
+func (c *Context) Compute(n int64) { c.K.Charge(c.K.CM.Cycles(n), "compute") }
+
+// syscall charges the fixed syscall cost and counts it.
+func (c *Context) syscall(name string) {
+	c.K.SyscallCount++
+	c.K.Charge(c.K.CM.Syscall(), "syscall:"+name)
+}
+
+// --- Memory access (user mode: protection enforced, faults handled) ---
+
+// Load reads user memory with protection checks; the memcpy cost scales
+// with size.
+func (c *Context) Load(addr mem.Addr, buf []byte) error {
+	c.K.Charge(c.K.CM.MemCopy(len(buf)), "mem-read")
+	return c.P.AS.Read(addr, buf)
+}
+
+// Store writes user memory with protection checks; protection faults go
+// through the installed fault handler (dirty tracking) or surface as
+// errors (→ SIGSEGV).
+func (c *Context) Store(addr mem.Addr, data []byte) error {
+	c.K.Charge(c.K.CM.MemCopy(len(data)), "mem-write")
+	return c.P.AS.Write(addr, data)
+}
+
+// Load8/Store8 are register-width conveniences.
+func (c *Context) Load8(addr mem.Addr) (uint64, error) {
+	var b [8]byte
+	if err := c.Load(addr, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (c *Context) Store8(addr mem.Addr, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return c.Store(addr, b[:])
+}
+
+// NonReentrantEnter marks the process as inside a malloc/free-class
+// function (the §3 signal-handler deadlock hazard); NonReentrantExit
+// clears it.
+func (c *Context) NonReentrantEnter() { c.P.InNonReentrant = true }
+
+// NonReentrantExit ends the non-reentrant section.
+func (c *Context) NonReentrantExit() { c.P.InNonReentrant = false }
+
+// --- Process control syscalls ---
+
+// GetPID returns the caller's process ID — the virtualized one when the
+// process runs inside a pod (ZAP's PID virtualization).
+func (c *Context) GetPID() proc.PID {
+	c.syscall("getpid")
+	if c.P.VPID != 0 {
+		return c.P.VPID
+	}
+	return c.P.PID
+}
+
+// Exit terminates the calling process. The program should return
+// StatusExited after calling this.
+func (c *Context) Exit(code int) {
+	c.syscall("exit")
+	c.P.ExitCode = code
+	c.K.Exit(c.P, code)
+}
+
+// Kill sends a signal to another process (kill(2)), the user-initiation
+// path for signal-driven checkpointers.
+func (c *Context) Kill(pid proc.PID, s sig.Signal) error {
+	c.syscall("kill")
+	return c.K.Kill(pid, s)
+}
+
+// Fork clones the calling process. The child is created stopped (not
+// enqueued); pass runnable=true to start it. The paper's "Checkpoint"
+// system [5] forks so a concurrent thread can save the frozen copy while
+// the parent keeps running.
+func (c *Context) Fork(runnable bool) (*proc.Process, error) {
+	c.syscall("fork")
+	return c.K.Fork(c.P, runnable)
+}
+
+// Fork clones p: address space (deep copy, charged per page), signal
+// state, fd table (fresh descriptions with the same nodes and offsets),
+// registers, args. The child starts stopped unless runnable.
+func (k *Kernel) Fork(p *proc.Process, runnable bool) (*proc.Process, error) {
+	nPages := int(p.AS.ResidentBytes() / mem.PageSize)
+	k.Charge(k.CM.Fork(nPages), "fork")
+	child := k.Procs.Allocate(p.PID, p.Exe)
+	child.Args = append([]string(nil), p.Args...)
+	child.AS = p.AS.Clone()
+	child.Sig = p.Sig.Clone()
+	child.Policy = p.Policy
+	child.StaticPrio = p.StaticPrio
+	child.Threads = nil
+	for _, t := range p.Threads {
+		child.Threads = append(child.Threads, &proc.Thread{TID: t.TID, Regs: t.Regs})
+	}
+	for fd, of := range p.OpenFDs() {
+		nof, err := k.FS.Open(of.Node.Path, of.Flags&^fs.OAppend)
+		if err != nil {
+			// Deleted-but-open files cannot be reopened by path; share the
+			// description (good enough for the fork-save-discard pattern).
+			child.InstallFDAt(fd, of)
+			continue
+		}
+		_ = nof.SeekTo(of.Offset())
+		child.InstallFDAt(fd, nof)
+	}
+	if runnable {
+		child.State = proc.StateReady
+		k.Sched.Enqueue(child)
+	} else {
+		child.State = proc.StateStopped
+	}
+	return child, nil
+}
+
+// Yield gives up the CPU voluntarily (sched_yield).
+func (c *Context) Yield() { c.syscall("sched_yield") }
+
+// BlockFor blocks the process for d of simulated time, arranging its own
+// wakeup (nanosleep). The program must return StatusBlocked after this.
+func (c *Context) BlockFor(d simtime.Duration, reason string) {
+	c.syscall("nanosleep")
+	p := c.P
+	p.WaitReason = reason
+	p.State = proc.StateBlocked
+	c.K.Sched.Dequeue(p)
+	c.K.Eng.After(d, func() {
+		// The wait is over even if the process was frozen meanwhile (a
+		// checkpoint stop): clearing WaitReason records that, so whoever
+		// unfreezes it knows not to put it back to sleep.
+		p.WaitReason = ""
+		if p.State == proc.StateBlocked {
+			c.K.Wake(p)
+		}
+	})
+}
+
+// IO performs a blocking operation of duration d while other processes
+// run (nested execution). Use for disk and network waits.
+func (c *Context) IO(d simtime.Duration, what string) {
+	c.K.Ledger.Charge(0, "io:"+what) // count the op even if duration is 0
+	if d <= 0 {
+		return
+	}
+	c.P.WaitReason = what
+	st := c.P.State
+	c.P.State = proc.StateBlocked
+	c.K.Sched.Dequeue(c.P)
+	c.K.RunWhile(d, c.P)
+	c.P.WaitReason = ""
+	c.P.State = st
+	if c.P.Runnable() {
+		c.K.Sched.Enqueue(c.P)
+	}
+	// I/O wait is attributed to the ledger but not to process CPU time.
+	c.K.Ledger.Charge(d, "io:"+what)
+}
+
+// --- Memory management syscalls ---
+
+// Sbrk adjusts the heap break by delta and returns the new break.
+// Sbrk(0) is the paper's example of extracting the heap boundary from
+// user level.
+func (c *Context) Sbrk(delta int64) (mem.Addr, error) {
+	c.syscall("sbrk")
+	cur := c.P.AS.Brk()
+	if delta == 0 {
+		return cur, nil
+	}
+	nb := mem.Addr(int64(cur) + delta)
+	if err := c.P.AS.SetBrk(nb); err != nil {
+		return cur, err
+	}
+	return c.P.AS.Brk(), nil
+}
+
+// Mmap maps length bytes of anonymous memory and returns the address.
+func (c *Context) Mmap(length uint64, prot mem.Prot) (mem.Addr, error) {
+	c.syscall("mmap")
+	v, err := c.P.AS.MapAnywhere(mmapBase, length, prot, mem.KindAnon, "[mmap]")
+	if err != nil {
+		return 0, err
+	}
+	return v.Start, nil
+}
+
+// Munmap unmaps the region starting at addr.
+func (c *Context) Munmap(addr mem.Addr) error {
+	c.syscall("munmap")
+	return c.P.AS.Unmap(addr)
+}
+
+// Mprotect changes protection on a range, charging the per-page PTE cost;
+// this is the user-level incremental tracker's main expense.
+func (c *Context) Mprotect(addr mem.Addr, length uint64, prot mem.Prot) error {
+	nPages := int(length / mem.PageSize)
+	c.K.SyscallCount++
+	c.K.Charge(c.K.CM.Mprotect(nPages), "syscall:mprotect")
+	_, err := c.P.AS.Protect(addr, length, prot)
+	return err
+}
+
+// Maps returns the process's memory map, as user code would read it from
+// /proc/self/maps (one syscall plus a per-VMA parse cost).
+func (c *Context) Maps() []*mem.VMA {
+	c.syscall("read:/proc/self/maps")
+	vmas := c.P.AS.VMAs()
+	c.K.Charge(simtime.Duration(len(vmas))*500*simtime.Nanosecond, "parse-maps")
+	return vmas
+}
+
+// --- File syscalls ---
+
+// Open opens a path, returning a descriptor.
+func (c *Context) Open(path string, flags fs.OpenFlags) (int, error) {
+	c.syscall("open")
+	of, err := c.K.FS.Open(path, flags)
+	if err != nil {
+		return -1, err
+	}
+	return c.P.InstallFD(of), nil
+}
+
+// Close closes a descriptor.
+func (c *Context) Close(fd int) error {
+	c.syscall("close")
+	return c.P.CloseFD(fd)
+}
+
+// ReadFD reads from a descriptor at its current offset. Disk time is
+// modeled for regular files via IO.
+func (c *Context) ReadFD(fd int, buf []byte) (int, error) {
+	c.syscall("read")
+	of, err := c.P.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := of.Read(c, buf)
+	if err == nil && of.Node.Kind == fs.KindRegular && n > 0 {
+		c.IO(c.K.CM.DiskStream(n), "disk-read")
+	}
+	return n, err
+}
+
+// WriteFD writes to a descriptor at its current offset.
+func (c *Context) WriteFD(fd int, data []byte) (int, error) {
+	c.syscall("write")
+	of, err := c.P.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := of.Write(c, data)
+	if err == nil && of.Node.Kind == fs.KindRegular && n > 0 {
+		c.IO(c.K.CM.DiskStream(n), "disk-write")
+	}
+	return n, err
+}
+
+// SeekCur returns the current offset of fd — lseek(fd, 0, SEEK_CUR), the
+// paper's example of extracting file positions from user level.
+func (c *Context) SeekCur(fd int) (int64, error) {
+	c.syscall("lseek")
+	of, err := c.P.FD(fd)
+	if err != nil {
+		return 0, err
+	}
+	return of.Offset(), nil
+}
+
+// SeekSet sets the offset of fd.
+func (c *Context) SeekSet(fd int, off int64) error {
+	c.syscall("lseek")
+	of, err := c.P.FD(fd)
+	if err != nil {
+		return err
+	}
+	return of.SeekTo(off)
+}
+
+// Ioctl issues a device control request on fd (the CRAK/BLCR interface).
+func (c *Context) Ioctl(fd int, request uint, arg any) error {
+	c.syscall("ioctl")
+	of, err := c.P.FD(fd)
+	if err != nil {
+		return err
+	}
+	return of.Ioctl(c, request, arg)
+}
+
+// --- Signal syscalls ---
+
+// SigAction installs a user handler.
+func (c *Context) SigAction(s sig.Signal, h *sig.Handler) error {
+	c.syscall("sigaction")
+	return c.P.Sig.SetHandler(s, h)
+}
+
+// SigIgnore sets SIG_IGN.
+func (c *Context) SigIgnore(s sig.Signal) error {
+	c.syscall("sigaction")
+	return c.P.Sig.Ignore(s)
+}
+
+// SigBlock/SigUnblock adjust the blocked mask (sigprocmask).
+func (c *Context) SigBlock(s sig.Signal) {
+	c.syscall("sigprocmask")
+	c.P.Sig.Block(s)
+}
+
+// SigUnblock removes s from the blocked mask.
+func (c *Context) SigUnblock(s sig.Signal) {
+	c.syscall("sigprocmask")
+	c.P.Sig.Unblock(s)
+}
+
+// SigPending returns the pending set — the sigispending() extraction the
+// paper cites.
+func (c *Context) SigPending() []sig.Signal {
+	c.syscall("sigpending")
+	return c.P.Sig.Pending()
+}
+
+// Alarm schedules SIGALRM for the caller after d (setitimer-style). A
+// zero d cancels nothing (we keep it one-shot; periodic timers re-arm in
+// the handler, as libckpt/Esky do).
+func (c *Context) Alarm(d simtime.Duration) {
+	c.syscall("alarm")
+	p := c.P
+	c.K.Eng.After(d, func() {
+		if p.State != proc.StateZombie && p.State != proc.StateDead {
+			_ = c.K.SendSignal(p, sig.SIGALRM)
+		}
+	})
+}
+
+func (c *Context) String() string {
+	return fmt.Sprintf("ctx(pid %d %s @%v)", c.P.PID, c.P.Exe, c.K.Now())
+}

@@ -1,0 +1,241 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/fs"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+	"repro/internal/simos/sig"
+	"repro/internal/simtime"
+)
+
+func ctxFor(t *testing.T, k *Kernel, p *proc.Process) *Context {
+	t.Helper()
+	return &Context{K: k, P: p, T: p.MainThread()}
+}
+
+func TestLoad8Store8RoundTrip(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := ctxFor(t, k, p)
+	if err := ctx.Store8(heapBase, 0xDEADBEEF12345678); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ctx.Load8(heapBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF12345678 {
+		t.Fatalf("Load8 = %#x", v)
+	}
+	if _, err := ctx.Load8(0x10); err == nil {
+		t.Fatal("Load8 of unmapped address succeeded")
+	}
+}
+
+func TestSigBlockUnblockPending(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := ctxFor(t, k, p)
+	ctx.SigBlock(sig.SIGUSR1)
+	if !p.Sig.Blocked(sig.SIGUSR1) {
+		t.Fatal("not blocked")
+	}
+	k.RunFor(simtime.Millisecond)
+	k.Kill(p.PID, sig.SIGUSR1)
+	k.RunFor(5 * simtime.Millisecond)
+	if p.Regs().G[2] != 0 {
+		t.Fatal("blocked signal was delivered")
+	}
+	if pend := ctx.SigPending(); len(pend) != 1 || pend[0] != sig.SIGUSR1 {
+		t.Fatalf("SigPending = %v", pend)
+	}
+	ctx.SigUnblock(sig.SIGUSR1)
+	k.RunFor(5 * simtime.Millisecond)
+	if p.Regs().G[2] == 0 {
+		t.Fatal("unblocked signal never delivered")
+	}
+}
+
+func TestSigIgnore(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := ctxFor(t, k, p)
+	if err := ctx.SigIgnore(sig.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(simtime.Millisecond)
+	k.Kill(p.PID, sig.SIGTERM)
+	k.RunFor(5 * simtime.Millisecond)
+	if p.State == proc.StateZombie {
+		t.Fatal("ignored SIGTERM killed the process")
+	}
+}
+
+func TestWriteFDChargesDiskTime(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := ctxFor(t, k, p)
+	fd, err := ctx.Open("/out", fs.OWrite|fs.OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := k.Now()
+	n, err := ctx.WriteFD(fd, make([]byte, 1<<20))
+	if err != nil || n != 1<<20 {
+		t.Fatalf("WriteFD: %d %v", n, err)
+	}
+	// 1 MiB at 50 MB/s ≈ 21 ms of disk streaming must have elapsed.
+	if k.Now().Sub(before) < 15*simtime.Millisecond {
+		t.Fatalf("disk write cost only %v", k.Now().Sub(before))
+	}
+	if _, err := ctx.WriteFD(99, []byte("x")); err == nil {
+		t.Fatal("write to bad fd succeeded")
+	}
+	if _, err := ctx.ReadFD(99, make([]byte, 1)); err == nil {
+		t.Fatal("read from bad fd succeeded")
+	}
+	if err := ctx.SeekSet(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.SeekCur(99); err == nil {
+		t.Fatal("lseek on bad fd succeeded")
+	}
+}
+
+func TestMmapMunmapAndIoctlErrors(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := ctxFor(t, k, p)
+	addr, err := ctx.Mmap(4*mem.PageSize, mem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Store8(addr, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Munmap(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Munmap(addr); err == nil {
+		t.Fatal("double munmap succeeded")
+	}
+	if err := ctx.Ioctl(99, 1, nil); err == nil {
+		t.Fatal("ioctl on bad fd succeeded")
+	}
+}
+
+func TestKillErrors(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := ctxFor(t, k, p)
+	if err := ctx.Kill(999, sig.SIGTERM); err == nil {
+		t.Fatal("kill of missing pid succeeded")
+	}
+	k.Exit(p, 0)
+	if err := k.SendSignal(p, sig.SIGTERM); err == nil {
+		t.Fatal("signal to zombie succeeded")
+	}
+}
+
+func TestForkRunnableChildExecutes(t *testing.T) {
+	k := newTestKernel(t, counter{"count"})
+	p, _ := k.Spawn("count")
+	p.Regs().G[1] = 1 << 30
+	k.RunFor(2 * simtime.Millisecond)
+	ctx := ctxFor(t, k, p)
+	child, err := ctx.Fork(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.State != proc.StateReady {
+		t.Fatalf("runnable child state %v", child.State)
+	}
+	pcAt := child.Regs().PC
+	k.RunFor(5 * simtime.Millisecond)
+	if child.Regs().PC <= pcAt {
+		t.Fatal("runnable fork child made no progress")
+	}
+	if child.CPUTime == 0 {
+		t.Fatal("child accumulated no CPU time")
+	}
+}
+
+func TestRunWhileDepthGuard(t *testing.T) {
+	k := newTestKernel(t)
+	var recurse func(d int)
+	recurse = func(d int) {
+		if d == 0 {
+			return
+		}
+		k.RunWhile(simtime.Microsecond, nil)
+		recurse(d - 1)
+	}
+	// Deep nesting must not panic or hang; the guard degrades to plain
+	// clock advancement.
+	before := k.Now()
+	k.nestDepth = 20
+	k.RunWhile(simtime.Millisecond, nil)
+	k.nestDepth = 0
+	if k.Now().Sub(before) < simtime.Millisecond {
+		t.Fatal("guarded RunWhile did not advance time")
+	}
+	recurse(3)
+}
+
+func TestContextStringAndGetPIDVirtualization(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := ctxFor(t, k, p)
+	if ctx.String() == "" {
+		t.Fatal("empty context string")
+	}
+	if got := ctx.GetPID(); got != p.PID {
+		t.Fatalf("GetPID = %d", got)
+	}
+	p.VPID = 42
+	if got := ctx.GetPID(); got != 42 {
+		t.Fatalf("virtualized GetPID = %d, want 42", got)
+	}
+}
+
+func TestSpawnArgsPreserved(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, err := k.Spawn("handler", "-x", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Args) != 2 || p.Args[0] != "-x" {
+		t.Fatalf("Args = %v", p.Args)
+	}
+}
+
+func TestRunUntilExitDeadline(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler") // runs forever
+	if k.RunUntilExit(p, k.Now().Add(2*simtime.Millisecond)) {
+		t.Fatal("RunUntilExit claimed an infinite process exited")
+	}
+}
+
+func TestChargeIgnoresNonPositive(t *testing.T) {
+	k := newTestKernel(t)
+	before := k.Now()
+	k.Charge(0, "x")
+	k.Charge(-5, "x")
+	if k.Now() != before {
+		t.Fatal("non-positive charge advanced time")
+	}
+}
+
+func TestLedgerEnvIntegration(t *testing.T) {
+	// Kernel as Biller: charging attributes to the ledger too.
+	k := newTestKernel(t)
+	var bill costmodel.Biller = k
+	bill.Charge(simtime.Millisecond, "test-cat")
+	if k.Ledger.ByCategory["test-cat"] != simtime.Millisecond {
+		t.Fatal("ledger attribution missing")
+	}
+}

@@ -1,0 +1,530 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/simos/fs"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+	"repro/internal/simos/sig"
+	"repro/internal/simtime"
+)
+
+// counter is a minimal well-behaved program: each step does some compute,
+// stores its iteration count into the heap, and exits after G[1] steps.
+// All state lives in registers + memory, per the Program contract.
+type counter struct{ name string }
+
+func (c counter) Name() string { return c.name }
+
+func (c counter) Init(ctx *Context) error {
+	ctx.Regs().G[1] = 50 // default iterations
+	return nil
+}
+
+func (c counter) Step(ctx *Context) (Status, error) {
+	r := ctx.Regs()
+	if r.PC >= r.G[1] {
+		ctx.Exit(0)
+		return StatusExited, nil
+	}
+	ctx.Compute(100_000) // 50µs at 2 GHz
+	if err := ctx.Store8(heapBase+mem.Addr(8*(r.PC%16)), r.PC); err != nil {
+		return StatusExited, err
+	}
+	r.PC++
+	return StatusRunning, nil
+}
+
+// sleeper blocks for a fixed duration once, then exits.
+type sleeper struct{}
+
+func (sleeper) Name() string            { return "sleeper" }
+func (sleeper) Init(ctx *Context) error { return nil }
+func (sleeper) Step(ctx *Context) (Status, error) {
+	r := ctx.Regs()
+	switch r.PC {
+	case 0:
+		r.PC = 1
+		ctx.BlockFor(10*simtime.Millisecond, "nap")
+		return StatusBlocked, nil
+	default:
+		ctx.Exit(7)
+		return StatusExited, nil
+	}
+}
+
+// wild writes to unmapped memory.
+type wild struct{}
+
+func (wild) Name() string            { return "wild" }
+func (wild) Init(ctx *Context) error { return nil }
+func (wild) Step(ctx *Context) (Status, error) {
+	return StatusRunning, ctx.Store8(0x10, 1)
+}
+
+func newTestKernel(t *testing.T, progs ...Program) *Kernel {
+	t.Helper()
+	reg := NewRegistry()
+	for _, p := range progs {
+		reg.MustRegister(p)
+	}
+	return New(DefaultConfig("node0"), costmodel.Default2005(), reg)
+}
+
+func TestSpawnRunExit(t *testing.T) {
+	k := newTestKernel(t, counter{"count"})
+	p, err := k.Spawn("count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PID != 1 || p.State != proc.StateReady {
+		t.Fatalf("spawned %v", p)
+	}
+	if !k.RunUntilExit(p, k.Now().Add(simtime.Minute)) {
+		t.Fatalf("process did not exit; state=%v", p.State)
+	}
+	if p.ExitCode != 0 {
+		t.Fatalf("exit code %d", p.ExitCode)
+	}
+	// The counter stored its final values in the heap.
+	var buf [8]byte
+	if err := p.AS.ReadDirect(heapBase, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUTime == 0 {
+		t.Fatal("no CPU time accounted")
+	}
+}
+
+func TestSpawnUnknownProgram(t *testing.T) {
+	k := newTestKernel(t)
+	if _, err := k.Spawn("nope"); err == nil {
+		t.Fatal("unknown program spawned")
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(counter{"x"})
+	if err := reg.Register(counter{"x"}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestSleeperBlocksAndWakes(t *testing.T) {
+	k := newTestKernel(t, sleeper{})
+	p, _ := k.Spawn("sleeper")
+	k.RunFor(5 * simtime.Millisecond)
+	if p.State != proc.StateBlocked {
+		t.Fatalf("state = %v, want blocked", p.State)
+	}
+	k.RunFor(10 * simtime.Millisecond)
+	if p.State != proc.StateZombie || p.ExitCode != 7 {
+		t.Fatalf("state=%v code=%d, want zombie/7", p.State, p.ExitCode)
+	}
+}
+
+func TestWildWriteKillsProcess(t *testing.T) {
+	k := newTestKernel(t, wild{})
+	p, _ := k.Spawn("wild")
+	k.RunFor(10 * simtime.Millisecond)
+	if p.State != proc.StateZombie || p.ExitCode != 139 {
+		t.Fatalf("state=%v code=%d, want SIGSEGV kill (139)", p.State, p.ExitCode)
+	}
+}
+
+// handlerProg installs a SIGUSR1 handler that records delivery time in
+// G[2]; the main loop spins forever.
+type handlerProg struct{ nonReentrant bool }
+
+func (handlerProg) Name() string { return "handler" }
+func (h handlerProg) Init(ctx *Context) error {
+	return ctx.P.Sig.SetHandler(sig.SIGUSR1, &sig.Handler{
+		Name:             "test",
+		UsesNonReentrant: h.nonReentrant,
+		Fn: func(c any, s sig.Signal) {
+			ctx2 := c.(*Context)
+			ctx2.Regs().G[2] = uint64(ctx2.K.Now())
+		},
+	})
+}
+func (handlerProg) Step(ctx *Context) (Status, error) {
+	ctx.Compute(50_000)
+	return StatusRunning, nil
+}
+
+func TestSignalHandlerDelivery(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	k.RunFor(2 * simtime.Millisecond)
+	if err := k.Kill(p.PID, sig.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(5 * simtime.Millisecond)
+	if p.Regs().G[2] == 0 {
+		t.Fatal("handler never ran")
+	}
+	if k.SignalCount == 0 {
+		t.Fatal("signal not counted")
+	}
+}
+
+func TestSignalDeliveryDeferredUnderLoad(t *testing.T) {
+	// The paper: kernel-mode signal delivery waits for the next
+	// kernel→user transition in the *target's* context, so delivery delay
+	// grows with the number of competing processes.
+	delayWithLoad := func(load int) simtime.Duration {
+		progs := []Program{handlerProg{}}
+		for i := 0; i < load; i++ {
+			progs = append(progs, counter{name: "bg" + string(rune('a'+i))})
+		}
+		k := newTestKernel(t, progs...)
+		p, _ := k.Spawn("handler")
+		for i := 0; i < load; i++ {
+			bg, _ := k.Spawn("bg" + string(rune('a'+i)))
+			bg.Regs().G[1] = 1 << 30 // effectively infinite
+		}
+		k.RunFor(2 * simtime.Millisecond)
+		sent := k.Now()
+		k.Kill(p.PID, sig.SIGUSR1)
+		k.RunFor(200 * simtime.Millisecond)
+		if p.Regs().G[2] == 0 {
+			t.Fatalf("load %d: handler never ran", load)
+		}
+		return simtime.Time(p.Regs().G[2]).Sub(sent)
+	}
+	d0 := delayWithLoad(0)
+	d8 := delayWithLoad(8)
+	if d8 <= d0 {
+		t.Fatalf("delivery delay did not grow with load: %v vs %v", d0, d8)
+	}
+}
+
+func TestSIGKILLDefaultAction(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	k.RunFor(time1ms())
+	k.Kill(p.PID, sig.SIGKILL)
+	k.RunFor(time1ms())
+	if p.State != proc.StateZombie {
+		t.Fatalf("state after SIGKILL = %v", p.State)
+	}
+}
+
+func TestSIGSTOPAndCONT(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	k.RunFor(time1ms())
+	k.Kill(p.PID, sig.SIGSTOP)
+	k.RunFor(5 * simtime.Millisecond)
+	if p.State != proc.StateStopped {
+		t.Fatalf("state = %v, want stopped", p.State)
+	}
+	cpu := p.CPUTime
+	k.RunFor(5 * simtime.Millisecond)
+	if p.CPUTime != cpu {
+		t.Fatal("stopped process accumulated CPU time")
+	}
+	k.Kill(p.PID, sig.SIGCONT)
+	k.RunFor(5 * simtime.Millisecond)
+	if p.CPUTime == cpu {
+		t.Fatal("SIGCONT did not resume the process")
+	}
+}
+
+func TestNonReentrantDeadlock(t *testing.T) {
+	k := newTestKernel(t, handlerProg{nonReentrant: true})
+	p, _ := k.Spawn("handler")
+	k.RunFor(time1ms())
+	p.InNonReentrant = true // process is inside malloc
+	k.Kill(p.PID, sig.SIGUSR1)
+	k.RunFor(5 * simtime.Millisecond)
+	if k.DeadlockCount != 1 {
+		t.Fatalf("DeadlockCount = %d, want 1", k.DeadlockCount)
+	}
+	if p.State != proc.StateBlocked {
+		t.Fatalf("deadlocked process state = %v", p.State)
+	}
+}
+
+func TestKernelSignalAction(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	var ran bool
+	ckptSig := k.SigTable.Register("SIGCKPT", func(c any, s sig.Signal) { ran = true })
+	p, _ := k.Spawn("handler")
+	k.RunFor(time1ms())
+	k.Kill(p.PID, ckptSig)
+	k.RunFor(5 * simtime.Millisecond)
+	if !ran {
+		t.Fatal("kernel signal action did not run")
+	}
+	if p.State == proc.StateZombie {
+		t.Fatal("kernel-action signal killed the process")
+	}
+}
+
+func TestAlarm(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	k.RunFor(time1ms())
+	// Install SIGALRM handler reusing the USR1 handler body.
+	p.Sig.SetHandler(sig.SIGALRM, p.Sig.Disposition(sig.SIGUSR1).Handler)
+	ctx := &Context{K: k, P: p, T: p.MainThread()}
+	ctx.Alarm(20 * simtime.Millisecond)
+	k.RunFor(10 * simtime.Millisecond)
+	if p.Regs().G[2] != 0 {
+		t.Fatal("alarm fired early")
+	}
+	k.RunFor(15 * simtime.Millisecond)
+	if p.Regs().G[2] == 0 {
+		t.Fatal("alarm never fired")
+	}
+}
+
+func TestFileSyscalls(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	k.FS.WriteFile("/input", []byte("abcdefgh"))
+	p, _ := k.Spawn("handler")
+	ctx := &Context{K: k, P: p, T: p.MainThread()}
+	fd, err := ctx.Open("/input", fs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := ctx.ReadFD(fd, buf)
+	if err != nil || n != 4 || string(buf) != "abcd" {
+		t.Fatalf("read %d %q %v", n, buf, err)
+	}
+	off, _ := ctx.SeekCur(fd)
+	if off != 4 {
+		t.Fatalf("offset %d", off)
+	}
+	if err := ctx.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	before := k.SyscallCount
+	ctx.GetPID()
+	if k.SyscallCount != before+1 {
+		t.Fatal("syscall not counted")
+	}
+}
+
+func TestSbrkAndMmap(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := &Context{K: k, P: p, T: p.MainThread()}
+	base, err := ctx.Sbrk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := ctx.Sbrk(3 * mem.PageSize)
+	if err != nil || nb != base+3*mem.PageSize {
+		t.Fatalf("sbrk: %v %v", nb, err)
+	}
+	addr, err := ctx.Mmap(4*mem.PageSize, mem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Store8(addr, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Munmap(addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkClonesState(t *testing.T) {
+	k := newTestKernel(t, counter{"count"})
+	p, _ := k.Spawn("count")
+	k.RunFor(2 * simtime.Millisecond)
+	ctx := &Context{K: k, P: p, T: p.MainThread()}
+	child, err := ctx.Fork(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.State != proc.StateStopped {
+		t.Fatalf("child state = %v, want stopped", child.State)
+	}
+	if !child.AS.Equal(p.AS) {
+		t.Fatal("child memory differs from parent")
+	}
+	if child.Regs().PC != p.Regs().PC {
+		t.Fatal("child registers differ")
+	}
+	// Parent keeps running; child stays frozen — the fork-consistency
+	// property the "Checkpoint" system exploits.
+	sum := child.AS.Checksum()
+	k.RunFor(5 * simtime.Millisecond)
+	if child.AS.Checksum() != sum {
+		t.Fatal("frozen child image changed while parent ran")
+	}
+}
+
+func TestIORunsOthersWhileBlocked(t *testing.T) {
+	k := newTestKernel(t, counter{"count"}, handlerProg{})
+	bg, _ := k.Spawn("count")
+	bg.Regs().G[1] = 1 << 30
+	p, _ := k.Spawn("handler")
+	k.RunFor(time1ms())
+	ctx := &Context{K: k, P: p, T: p.MainThread()}
+	before := bg.CPUTime
+	ctx.IO(50*simtime.Millisecond, "disk")
+	if bg.CPUTime <= before {
+		t.Fatal("background process made no progress during IO")
+	}
+}
+
+func TestEnsureASChargesTLB(t *testing.T) {
+	k := newTestKernel(t, counter{"a"}, counter{"b"})
+	pa, _ := k.Spawn("a")
+	pb, _ := k.Spawn("b")
+	k.EnsureAS(pa)
+	n := k.TLBFlushCount
+	k.EnsureAS(pa) // same AS: free
+	if k.TLBFlushCount != n {
+		t.Fatal("redundant AS switch charged")
+	}
+	k.EnsureAS(pb)
+	if k.TLBFlushCount != n+1 {
+		t.Fatal("AS switch not charged")
+	}
+}
+
+func TestInterruptsFireAndDefer(t *testing.T) {
+	cfg := DefaultConfig("n")
+	cfg.InterruptRate = 1000 // 1k/s
+	reg := NewRegistry()
+	reg.MustRegister(counter{"c"})
+	k := New(cfg, costmodel.Default2005(), reg)
+	p, _ := k.Spawn("c")
+	p.Regs().G[1] = 1 << 30
+	k.RunFor(100 * simtime.Millisecond)
+	if k.InterruptCount == 0 {
+		t.Fatal("no interrupts fired")
+	}
+	n := k.InterruptCount
+	k.DisableInterrupts()
+	k.RunFor(100 * simtime.Millisecond)
+	if k.InterruptCount != n {
+		t.Fatal("interrupts fired while disabled")
+	}
+	k.EnableInterrupts()
+	if k.InterruptCount == n {
+		t.Fatal("deferred interrupts were dropped")
+	}
+}
+
+func TestSocketsArePerKernel(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := &Context{K: k, P: p, T: p.MainThread()}
+	id := ctx.SocketOpen("db:5432")
+	if err := ctx.SocketPing(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.SocketSend(id, []byte("q")); err != nil {
+		t.Fatal(err)
+	}
+	socks := k.Sockets(p.PID)
+	if len(socks) != 1 || socks[0].Peer != "db:5432" {
+		t.Fatalf("Sockets = %v", socks)
+	}
+	ctx.SocketClose(id)
+	if err := ctx.SocketPing(id); err == nil {
+		t.Fatal("ping after close succeeded")
+	}
+	// Recreate (virtualized restore).
+	if err := k.RecreateSocket(id, p.PID, "db:5432"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.SocketPing(id); err != nil {
+		t.Fatal("recreated socket not alive")
+	}
+	if err := k.RecreateSocket(id, p.PID, "x"); err == nil {
+		t.Fatal("duplicate socket id accepted")
+	}
+}
+
+func TestShm(t *testing.T) {
+	k := newTestKernel(t, handlerProg{})
+	p, _ := k.Spawn("handler")
+	ctx := &Context{K: k, P: p, T: p.MainThread()}
+	addr, err := ctx.ShmAttach("seg1", 2*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.ShmExists("seg1") {
+		t.Fatal("segment not registered")
+	}
+	if err := ctx.Store8(addr, 99); err != nil {
+		t.Fatal(err)
+	}
+	k.RecreateShm("seg2", []byte{1, 2, 3})
+	if d, ok := k.ShmData("seg2"); !ok || len(d) != 3 {
+		t.Fatal("RecreateShm/ShmData failed")
+	}
+}
+
+func TestModuleLoadUnload(t *testing.T) {
+	k := newTestKernel(t)
+	m := &testModule{}
+	if err := k.LoadModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if !k.ModuleLoaded("testmod") || !m.loaded {
+		t.Fatal("module not loaded")
+	}
+	if err := k.LoadModule(m); err == nil {
+		t.Fatal("double load accepted")
+	}
+	if err := k.UnloadModule("testmod"); err != nil {
+		t.Fatal(err)
+	}
+	if k.ModuleLoaded("testmod") || m.loaded {
+		t.Fatal("module not unloaded")
+	}
+	if err := k.UnloadModule("testmod"); err == nil {
+		t.Fatal("double unload accepted")
+	}
+}
+
+type testModule struct{ loaded bool }
+
+func (m *testModule) ModuleName() string     { return "testmod" }
+func (m *testModule) Load(k *Kernel) error   { m.loaded = true; return nil }
+func (m *testModule) Unload(k *Kernel) error { m.loaded = false; return nil }
+
+func TestHaltStopsExecution(t *testing.T) {
+	k := newTestKernel(t, counter{"c"})
+	p, _ := k.Spawn("c")
+	p.Regs().G[1] = 1 << 30
+	k.RunFor(time1ms())
+	cpu := p.CPUTime
+	k.SetHalted(true)
+	k.RunFor(10 * simtime.Millisecond)
+	if p.CPUTime != cpu {
+		t.Fatal("halted machine executed work")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (simtime.Time, uint64, simtime.Duration) {
+		k := newTestKernel(t, counter{"a"}, counter{"b"}, sleeper{})
+		pa, _ := k.Spawn("a")
+		pb, _ := k.Spawn("b")
+		k.Spawn("sleeper")
+		pa.Regs().G[1] = 2000
+		pb.Regs().G[1] = 1500
+		k.RunFor(2 * simtime.Second)
+		return k.Now(), k.SyscallCount, pa.CPUTime
+	}
+	n1, s1, c1 := run()
+	n2, s2, c2 := run()
+	if n1 != n2 || s1 != s2 || c1 != c2 {
+		t.Fatalf("nondeterministic run: (%v,%d,%v) vs (%v,%d,%v)", n1, s1, c1, n2, s2, c2)
+	}
+}
+
+func time1ms() simtime.Duration { return simtime.Millisecond }

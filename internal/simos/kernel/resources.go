@@ -1,0 +1,125 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+)
+
+// Socket is a kernel-persistent communication endpoint. Its state lives in
+// the kernel, not the process image — exactly the class of resource the
+// paper says user-level checkpointing cannot capture and that system-level
+// virtualization (ZAP pods) can recreate transparently (§3).
+type Socket struct {
+	ID    int
+	Owner proc.PID
+	Peer  string // endpoint descriptor, e.g. "server:9000"
+	buf   []byte
+}
+
+// SocketOpen creates a connected socket to peer and returns its id.
+func (c *Context) SocketOpen(peer string) int {
+	c.syscall("socket+connect")
+	k := c.K
+	k.nextSock++
+	s := &Socket{ID: k.nextSock, Owner: c.P.PID, Peer: peer}
+	k.sockets[s.ID] = s
+	return s.ID
+}
+
+// SocketSend queues data on the socket.
+func (c *Context) SocketSend(id int, data []byte) error {
+	c.syscall("send")
+	s, ok := c.K.sockets[id]
+	if !ok {
+		return fmt.Errorf("kernel: pid %d: no socket %d (connection lost)", c.P.PID, id)
+	}
+	s.buf = append(s.buf, data...)
+	return nil
+}
+
+// SocketPing verifies the connection is still alive — the restart
+// validation probe used by the E9 resource matrix.
+func (c *Context) SocketPing(id int) error {
+	c.syscall("send")
+	if _, ok := c.K.sockets[id]; !ok {
+		return fmt.Errorf("kernel: pid %d: no socket %d (connection lost)", c.P.PID, id)
+	}
+	return nil
+}
+
+// SocketClose destroys the socket.
+func (c *Context) SocketClose(id int) {
+	c.syscall("close")
+	delete(c.K.sockets, id)
+}
+
+// Sockets returns the socket table entries owned by pid (kernel-side
+// inspection used by virtualizing mechanisms).
+func (k *Kernel) Sockets(pid proc.PID) []*Socket {
+	var out []*Socket
+	for _, s := range k.sockets {
+		if s.Owner == pid {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RecreateSocket installs a socket with a specific id for pid — the pod
+// virtualization restore path (ZAP). It fails if the id is taken.
+func (k *Kernel) RecreateSocket(id int, pid proc.PID, peer string) error {
+	if _, ok := k.sockets[id]; ok {
+		return fmt.Errorf("kernel: socket id %d already in use", id)
+	}
+	k.sockets[id] = &Socket{ID: id, Owner: pid, Peer: peer}
+	if id > k.nextSock {
+		k.nextSock = id
+	}
+	return nil
+}
+
+// ShmAttach attaches (creating on first use) a named shared-memory
+// segment of the given size, returning its address. The segment registry
+// is kernel state; its *existence* does not travel with a process image.
+func (c *Context) ShmAttach(key string, size uint64) (mem.Addr, error) {
+	c.syscall("shmat")
+	k := c.K
+	if _, ok := k.shmData[key]; !ok {
+		k.shmData[key] = make([]byte, size)
+	}
+	v, err := c.P.AS.MapAnywhere(mmapBase, size, mem.ProtRW, mem.KindShared, "shm:"+key)
+	if err != nil {
+		return 0, err
+	}
+	// Materialize the segment's current contents into the mapping.
+	if data := k.shmData[key]; len(data) > 0 {
+		if err := c.P.AS.WriteDirect(v.Start, data); err != nil {
+			return 0, err
+		}
+	}
+	return v.Start, nil
+}
+
+// ShmExists reports whether the named segment exists on this kernel —
+// restart on a different machine without virtualization finds it missing.
+func (k *Kernel) ShmExists(key string) bool {
+	_, ok := k.shmData[key]
+	return ok
+}
+
+// RecreateShm installs a segment with specific contents (virtualized
+// restore path).
+func (k *Kernel) RecreateShm(key string, data []byte) {
+	k.shmData[key] = append([]byte(nil), data...)
+}
+
+// ShmData returns a copy of a segment's kernel-side contents.
+func (k *Kernel) ShmData(key string) ([]byte, bool) {
+	d, ok := k.shmData[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}

@@ -1,0 +1,501 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	as := NewAddressSpace()
+	mustMap(t, as, 0x400000, 4*PageSize, ProtRX, KindText, "a.out")
+	mustMap(t, as, 0x600000, 16*PageSize, ProtRW, KindHeap, "[heap]")
+	mustMap(t, as, 0x7ff00000, 8*PageSize, ProtRW, KindStack, "[stack]")
+	return as
+}
+
+func mustMap(t *testing.T, as *AddressSpace, start Addr, length uint64, prot Prot, kind VMAKind, name string) *VMA {
+	t.Helper()
+	v, err := as.Map(start, length, prot, kind, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMapRejectsUnaligned(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(100, PageSize, ProtRW, KindAnon, ""); err == nil {
+		t.Fatal("unaligned start accepted")
+	}
+	if _, err := as.Map(0, 100, ProtRW, KindAnon, ""); err == nil {
+		t.Fatal("unaligned length accepted")
+	}
+	if _, err := as.Map(0, 0, ProtRW, KindAnon, ""); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestMapRejectsOverlap(t *testing.T) {
+	as := newTestAS(t)
+	if _, err := as.Map(0x600000, PageSize, ProtRW, KindAnon, ""); err == nil {
+		t.Fatal("exact overlap accepted")
+	}
+	if _, err := as.Map(0x5ff000, 2*PageSize, ProtRW, KindAnon, ""); err == nil {
+		t.Fatal("partial overlap accepted")
+	}
+}
+
+func TestMapAnywhereSkipsExisting(t *testing.T) {
+	as := newTestAS(t)
+	v, err := as.MapAnywhere(0x600000, 2*PageSize, ProtRW, KindAnon, "mmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Start != 0x600000+16*PageSize {
+		t.Fatalf("MapAnywhere landed at %#x, want just after heap", uint64(v.Start))
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	as := newTestAS(t)
+	msg := []byte("the quick brown fox")
+	if err := as.Write(0x600010, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.Read(0x600010, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+}
+
+func TestWriteSpanningPages(t *testing.T) {
+	as := newTestAS(t)
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	addr := Addr(0x600000 + PageSize - 100) // crosses three pages
+	if err := as.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := as.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestDemandZeroRead(t *testing.T) {
+	as := newTestAS(t)
+	buf := []byte{1, 2, 3, 4}
+	if err := as.Read(0x600000, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want demand-zero 0", i, b)
+		}
+	}
+	if as.ResidentBytes() != 0 {
+		// Reads materialize the Page struct but not its data; data stays nil.
+		// ResidentBytes counts Page structs, so one page is resident.
+		t.Logf("resident after read: %d bytes", as.ResidentBytes())
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	as := newTestAS(t)
+	err := as.Write(0x100, []byte{1})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	if f.VMA != nil || f.Access != AccessWrite {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestWriteProtectedFaultsWithoutHandler(t *testing.T) {
+	as := newTestAS(t)
+	err := as.Write(0x400000, []byte{1}) // text is r-x
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	if f.VMA == nil || f.VMA.Kind != KindText {
+		t.Fatalf("fault VMA = %v", f.VMA)
+	}
+}
+
+func TestFaultRetryTracksDirty(t *testing.T) {
+	as := newTestAS(t)
+	heap := as.FindByName("[heap]")
+	as.ProtectVMA(heap, ProtRead) // write-protect for tracking
+	var tracked []PageNum
+	as.SetFaultHandler(func(f *Fault) Disposition {
+		if f.Access != AccessWrite {
+			return FaultFatal
+		}
+		tracked = append(tracked, f.Addr.Page())
+		// Unprotect the single page and retry, as a kernel tracker would.
+		if _, err := as.Protect(f.Addr.Page().Base(), PageSize, ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		return FaultRetry
+	})
+	if err := as.Write(0x600000, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(0x600001, []byte("y")); err != nil {
+		t.Fatal(err) // second write to same page: no fault
+	}
+	if err := as.Write(0x600000+PageSize, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if len(tracked) != 2 {
+		t.Fatalf("tracked %d pages, want 2 (one fault per first touch)", len(tracked))
+	}
+	if as.FaultCount() != 2 {
+		t.Fatalf("FaultCount = %d, want 2", as.FaultCount())
+	}
+}
+
+func TestFaultSignalAborts(t *testing.T) {
+	as := newTestAS(t)
+	heap := as.FindByName("[heap]")
+	as.ProtectVMA(heap, ProtRead)
+	as.SetFaultHandler(func(f *Fault) Disposition { return FaultSignal })
+	err := as.Write(0x600000, []byte("x"))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want fault error, got %v", err)
+	}
+}
+
+func TestFaultHandlerLoopGuard(t *testing.T) {
+	as := newTestAS(t)
+	heap := as.FindByName("[heap]")
+	as.ProtectVMA(heap, ProtRead)
+	as.SetFaultHandler(func(f *Fault) Disposition { return FaultRetry }) // never fixes
+	err := as.Write(0x600000, []byte("x"))
+	if err == nil {
+		t.Fatal("looping handler not detected")
+	}
+}
+
+func TestDirtyPagesAndClear(t *testing.T) {
+	as := newTestAS(t)
+	as.Write(0x600000, []byte("a"))
+	as.Write(0x600000+2*PageSize, []byte("b"))
+	dirty := as.DirtyPages(true)
+	if len(dirty) != 2 {
+		t.Fatalf("dirty = %d pages, want 2", len(dirty))
+	}
+	if len(as.DirtyPages(false)) != 0 {
+		t.Fatal("dirty bits not cleared")
+	}
+	as.Write(0x600000, []byte("c"))
+	if len(as.DirtyPages(false)) != 1 {
+		t.Fatal("rewrite did not set dirty bit again")
+	}
+}
+
+func TestBrkGrowShrink(t *testing.T) {
+	as := newTestAS(t)
+	heap := as.FindByName("[heap]")
+	origLen := heap.Length
+	if err := as.SetBrk(heap.Start + Addr(origLen) + 3*PageSize + 5); err != nil {
+		t.Fatal(err)
+	}
+	if heap.Length != origLen+4*PageSize { // rounded up
+		t.Fatalf("heap length = %d, want %d", heap.Length, origLen+4*PageSize)
+	}
+	// Write into the new space, then shrink and verify pages dropped.
+	if err := as.Write(heap.Start+Addr(origLen), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	before := heap.ResidentPages()
+	if err := as.SetBrk(heap.Start + Addr(origLen)); err != nil {
+		t.Fatal(err)
+	}
+	if heap.ResidentPages() != before-1 {
+		t.Fatalf("shrink kept pages: %d, want %d", heap.ResidentPages(), before-1)
+	}
+	if err := as.SetBrk(heap.Start - PageSize); err == nil {
+		t.Fatal("SetBrk below base accepted")
+	}
+}
+
+func TestProtectCounting(t *testing.T) {
+	as := newTestAS(t)
+	heap := as.FindByName("[heap]")
+	n := as.ProtectVMA(heap, ProtRead)
+	if n != heap.NumPages() {
+		t.Fatalf("Protect changed %d PTEs, want %d", n, heap.NumPages())
+	}
+	// Protecting again with the same protection changes nothing.
+	if n := as.ProtectVMA(heap, ProtRead); n != 0 {
+		t.Fatalf("re-Protect changed %d PTEs, want 0", n)
+	}
+}
+
+func TestWriteHooksFireAtLineGranularity(t *testing.T) {
+	as := newTestAS(t)
+	var lines []Addr
+	as.AddWriteHook(func(addr Addr, old, new []byte) {
+		if len(new) != 64 {
+			t.Fatalf("hook got %d-byte line, want 64", len(new))
+		}
+		lines = append(lines, addr)
+	})
+	// A 100-byte write starting at offset 10 touches lines 0 and 64 (and 96..109 → line 96).
+	if err := as.Write(0x600000+10, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("hook fired %d times, want 2 (lines 0,64)", len(lines))
+	}
+	if lines[0] != 0x600000 || lines[1] != 0x600040 {
+		t.Fatalf("line addrs = %#x,%#x", uint64(lines[0]), uint64(lines[1]))
+	}
+}
+
+func TestWriteHookSeesOldAndNew(t *testing.T) {
+	as := newTestAS(t)
+	as.Write(0x600000, []byte{1, 2, 3, 4})
+	var old0, new0 byte
+	as.AddWriteHook(func(addr Addr, old, new []byte) {
+		old0, new0 = old[0], new[0]
+	})
+	as.Write(0x600000, []byte{9})
+	if old0 != 1 || new0 != 9 {
+		t.Fatalf("hook old=%d new=%d, want 1/9", old0, new0)
+	}
+}
+
+func TestReadWriteDirectBypassProtection(t *testing.T) {
+	as := newTestAS(t)
+	text := as.FindByName("a.out")
+	if err := as.WriteDirect(text.Start, []byte("ELF")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := as.ReadDirect(text.Start, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ELF" {
+		t.Fatalf("ReadDirect = %q", buf)
+	}
+	if as.FaultCount() != 0 {
+		t.Fatal("direct access took faults")
+	}
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	as := newTestAS(t)
+	as.Write(0x600000, []byte("state"))
+	cl := as.Clone()
+	if !as.Equal(cl) || !cl.Equal(as) {
+		t.Fatal("clone not Equal to original")
+	}
+	if as.Checksum() != cl.Checksum() {
+		t.Fatal("clone checksum differs")
+	}
+	// Mutating the clone must not affect the original.
+	cl.Write(0x600000, []byte("XXXXX"))
+	buf := make([]byte, 5)
+	as.Read(0x600000, buf)
+	if string(buf) != "state" {
+		t.Fatalf("original mutated through clone: %q", buf)
+	}
+	if as.Equal(cl) {
+		t.Fatal("Equal missed a difference")
+	}
+}
+
+func TestEqualTreatsZeroPagesAsNil(t *testing.T) {
+	a := NewAddressSpace()
+	b := NewAddressSpace()
+	for _, as := range []*AddressSpace{a, b} {
+		if _, err := as.Map(0, 2*PageSize, ProtRW, KindAnon, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Materialize an all-zero page in a only.
+	a.Write(0, []byte{0})
+	if !a.Equal(b) {
+		t.Fatal("explicit zero page should equal demand-zero page")
+	}
+	a.Write(0, []byte{7})
+	if a.Equal(b) {
+		t.Fatal("differing page not detected")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := newTestAS(t)
+	if err := as.Unmap(0x400000); err != nil {
+		t.Fatal(err)
+	}
+	if as.Find(0x400000) != nil {
+		t.Fatal("VMA still present after Unmap")
+	}
+	if err := as.Unmap(0x400000); err == nil {
+		t.Fatal("double Unmap accepted")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if ProtRW.String() != "rw-" || ProtRX.String() != "r-x" || ProtNone.String() != "---" {
+		t.Fatal("Prot.String wrong")
+	}
+}
+
+func TestSetLineSizeValidation(t *testing.T) {
+	as := NewAddressSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad line size accepted")
+		}
+	}()
+	as.SetLineSize(100) // does not divide 4096
+}
+
+// Property: any sequence of writes followed by reads returns the written
+// data (last-writer-wins), within a single VMA.
+func TestQuickLastWriterWins(t *testing.T) {
+	f := func(ops []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		as := NewAddressSpace()
+		if _, err := as.Map(0, 32*PageSize, ProtRW, KindAnon, ""); err != nil {
+			return false
+		}
+		shadow := make([]byte, 32*PageSize)
+		for _, op := range ops {
+			if len(op.Data) == 0 {
+				continue
+			}
+			off := int(op.Off) % (len(shadow) - len(op.Data))
+			if off < 0 {
+				continue
+			}
+			if err := as.Write(Addr(off), op.Data); err != nil {
+				return false
+			}
+			copy(shadow[off:], op.Data)
+		}
+		got := make([]byte, len(shadow))
+		if err := as.Read(0, got); err != nil {
+			return false
+		}
+		for i := range shadow {
+			if got[i] != shadow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone always Equals the original and has the same checksum,
+// for random write patterns.
+func TestQuickCloneEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		as := NewAddressSpace()
+		if _, err := as.Map(0, 16*PageSize, ProtRW, KindHeap, "[heap]"); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 20; w++ {
+			buf := make([]byte, 1+rng.Intn(200))
+			rng.Read(buf)
+			off := rng.Intn(16*PageSize - len(buf))
+			if err := as.Write(Addr(off), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cl := as.Clone()
+		if !as.Equal(cl) || as.Checksum() != cl.Checksum() {
+			t.Fatalf("iter %d: clone differs", iter)
+		}
+	}
+}
+
+// Property: number of tracked pages from write-protect tracking equals the
+// number of distinct pages written in the epoch.
+func TestQuickTrackingCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 30; iter++ {
+		as := NewAddressSpace()
+		v, err := as.Map(0, 64*PageSize, ProtRW, KindHeap, "[heap]")
+		if err != nil {
+			t.Fatal(err)
+		}
+		as.ProtectVMA(v, ProtRead)
+		tracked := map[PageNum]bool{}
+		as.SetFaultHandler(func(f *Fault) Disposition {
+			tracked[f.Addr.Page()] = true
+			as.Protect(f.Addr.Page().Base(), PageSize, ProtRW)
+			return FaultRetry
+		})
+		want := map[PageNum]bool{}
+		for w := 0; w < 50; w++ {
+			off := rng.Intn(64*PageSize - 8)
+			if err := as.Write(Addr(off), []byte("12345678")); err != nil {
+				t.Fatal(err)
+			}
+			want[Addr(off).Page()] = true
+			if Addr(off+7).Page() != Addr(off).Page() {
+				want[Addr(off+7).Page()] = true
+			}
+		}
+		if len(tracked) != len(want) {
+			t.Fatalf("iter %d: tracked %d pages, want %d", iter, len(tracked), len(want))
+		}
+		for pn := range want {
+			if !tracked[pn] {
+				t.Fatalf("iter %d: page %d written but not tracked", iter, pn)
+			}
+		}
+	}
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	as := NewAddressSpace()
+	as.Map(0, 1024*PageSize, ProtRW, KindAnon, "")
+	buf := make([]byte, PageSize)
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Write(Addr((i%1024)*PageSize), buf)
+	}
+}
+
+func BenchmarkChecksum64MiB(b *testing.B) {
+	as := NewAddressSpace()
+	as.Map(0, 16384*PageSize, ProtRW, KindAnon, "")
+	buf := make([]byte, PageSize)
+	for i := 0; i < 16384; i++ {
+		buf[0] = byte(i)
+		as.Write(Addr(i*PageSize), buf)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Checksum()
+	}
+}

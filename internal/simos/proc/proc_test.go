@@ -1,0 +1,141 @@
+package proc
+
+import (
+	"testing"
+
+	"repro/internal/simos/fs"
+)
+
+func TestTableAllocatesSequentialPIDs(t *testing.T) {
+	tb := NewTable()
+	a := tb.Allocate(0, "a")
+	b := tb.Allocate(a.PID, "b")
+	if a.PID != 1 || b.PID != 2 {
+		t.Fatalf("pids = %d,%d", a.PID, b.PID)
+	}
+	if b.PPID != a.PID {
+		t.Fatalf("ppid = %d", b.PPID)
+	}
+	got, err := tb.Lookup(2)
+	if err != nil || got != b {
+		t.Fatalf("Lookup: %v %v", got, err)
+	}
+	if _, err := tb.Lookup(99); err == nil {
+		t.Fatal("Lookup of missing pid succeeded")
+	}
+}
+
+func TestTableInsertRestoredPID(t *testing.T) {
+	tb := NewTable()
+	tb.Allocate(0, "a") // pid 1
+	restored := New(7, 1, "restored")
+	if err := tb.Insert(restored); err != nil {
+		t.Fatal(err)
+	}
+	// Next allocation must not collide with the restored PID.
+	n := tb.Allocate(0, "next")
+	if n.PID != 8 {
+		t.Fatalf("next pid = %d, want 8", n.PID)
+	}
+	if err := tb.Insert(New(7, 0, "dup")); err == nil {
+		t.Fatal("duplicate PID insert accepted")
+	}
+}
+
+func TestTableAllOrder(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 5; i++ {
+		tb.Allocate(0, "p")
+	}
+	tb.Remove(3)
+	all := tb.All()
+	if len(all) != 4 || tb.Len() != 4 {
+		t.Fatalf("All len = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].PID <= all[i-1].PID {
+			t.Fatal("All not sorted by PID")
+		}
+	}
+}
+
+func TestFDTable(t *testing.T) {
+	fsys := fs.New()
+	fsys.WriteFile("/data", []byte("0123456789"))
+	p := New(1, 0, "app")
+	of, _ := fsys.Open("/data", fs.ORead)
+	fd0 := p.InstallFD(of)
+	of2, _ := fsys.Open("/data", fs.OWrite)
+	fd1 := p.InstallFD(of2)
+	if fd0 != 0 || fd1 != 1 {
+		t.Fatalf("fds = %d,%d", fd0, fd1)
+	}
+	if err := p.CloseFD(fd0); err != nil {
+		t.Fatal(err)
+	}
+	// Lowest free descriptor is reused.
+	of3, _ := fsys.Open("/data", fs.ORead)
+	if fd := p.InstallFD(of3); fd != 0 {
+		t.Fatalf("reused fd = %d, want 0", fd)
+	}
+	if _, err := p.FD(9); err == nil {
+		t.Fatal("bad fd lookup succeeded")
+	}
+	if err := p.CloseFD(9); err == nil {
+		t.Fatal("bad fd close succeeded")
+	}
+}
+
+func TestFDsMetadata(t *testing.T) {
+	fsys := fs.New()
+	fsys.WriteFile("/in", []byte("abcdef"))
+	p := New(1, 0, "app")
+	of, _ := fsys.Open("/in", fs.ORead)
+	buf := make([]byte, 3)
+	of.Read(nil, buf)
+	p.InstallFD(of)
+	// Unlink while open: FDInfo must mark it deleted.
+	fsys.Unlink("/in")
+	infos := p.FDs()
+	if len(infos) != 1 {
+		t.Fatalf("FDs = %v", infos)
+	}
+	fi := infos[0]
+	if fi.Path != "/in" || fi.Offset != 3 || !fi.Deleted || fi.Flags != fs.ORead {
+		t.Fatalf("FDInfo = %+v", fi)
+	}
+}
+
+func TestThreads(t *testing.T) {
+	p := New(1, 0, "mt")
+	if p.Multithreaded() {
+		t.Fatal("fresh process multithreaded")
+	}
+	th := p.AddThread()
+	if th.TID != 2 || !p.Multithreaded() {
+		t.Fatalf("AddThread tid=%d", th.TID)
+	}
+	p.Regs().G[0] = 42
+	if p.MainThread().Regs.G[0] != 42 {
+		t.Fatal("Regs not aliased to main thread")
+	}
+}
+
+func TestRunnable(t *testing.T) {
+	p := New(1, 0, "x")
+	for st, want := range map[State]bool{
+		StateReady: true, StateRunning: true,
+		StateBlocked: false, StateStopped: false, StateZombie: false, StateDead: false,
+	} {
+		p.State = st
+		if p.Runnable() != want {
+			t.Errorf("Runnable(%v) = %v", st, !want)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateStopped.String() != "stopped" || SchedFIFO.String() != "SCHED_FIFO" {
+		t.Fatal("string forms")
+	}
+}

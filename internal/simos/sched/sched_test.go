@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/simos/proc"
+)
+
+func mkProc(pid int, pol proc.Policy, prio int) *proc.Process {
+	p := proc.New(proc.PID(pid), 0, "test")
+	p.Policy = pol
+	p.StaticPrio = prio
+	return p
+}
+
+func TestEnqueueIdempotent(t *testing.T) {
+	s := New()
+	p := mkProc(1, proc.SchedOther, 20)
+	s.Enqueue(p)
+	s.Enqueue(p)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.Dequeue(p)
+	if s.Len() != 0 {
+		t.Fatal("Dequeue failed")
+	}
+	s.Dequeue(p) // no-op
+}
+
+func TestFIFOBeatsTimeSharing(t *testing.T) {
+	s := New()
+	ts := mkProc(1, proc.SchedOther, 39)
+	rt := mkProc(2, proc.SchedFIFO, 1)
+	s.Enqueue(ts)
+	s.Enqueue(rt)
+	if got := s.Pick(); got != rt {
+		t.Fatalf("Pick = %v, want FIFO task", got)
+	}
+}
+
+func TestFIFOPriorityOrdering(t *testing.T) {
+	s := New()
+	lo := mkProc(1, proc.SchedFIFO, 1)
+	hi := mkProc(2, proc.SchedFIFO, 50)
+	s.Enqueue(lo)
+	s.Enqueue(hi)
+	if got := s.Pick(); got != hi {
+		t.Fatalf("Pick = %v, want high-prio FIFO", got)
+	}
+}
+
+func TestCounterDecayAndReplenish(t *testing.T) {
+	s := New()
+	p := mkProc(1, proc.SchedOther, 0)
+	s.Enqueue(p)
+	start := p.Counter
+	for i := 0; i < start-1; i++ {
+		if s.Tick(p) {
+			t.Fatalf("slice expired early at tick %d", i)
+		}
+	}
+	if !s.Tick(p) {
+		t.Fatal("slice did not expire after counter ticks")
+	}
+	// With the counter at zero, Pick must replenish (epoch) and still
+	// return the process.
+	if got := s.Pick(); got != p {
+		t.Fatalf("Pick after exhaustion = %v", got)
+	}
+	if p.Counter == 0 {
+		t.Fatal("epoch did not replenish counter")
+	}
+	_, epochs, _ := s.Stats()
+	if epochs != 1 {
+		t.Fatalf("epochs = %d, want 1", epochs)
+	}
+}
+
+func TestFIFONeverExpires(t *testing.T) {
+	s := New()
+	p := mkProc(1, proc.SchedFIFO, 10)
+	for i := 0; i < 1000; i++ {
+		if s.Tick(p) {
+			t.Fatal("FIFO task expired")
+		}
+	}
+}
+
+func TestHigherCounterWins(t *testing.T) {
+	s := New()
+	a := mkProc(1, proc.SchedOther, 20)
+	b := mkProc(2, proc.SchedOther, 20)
+	a.Counter = 2
+	b.Counter = 6
+	s.Enqueue(a)
+	s.Enqueue(b)
+	if got := s.Pick(); got != b {
+		t.Fatalf("Pick = %v, want the fresher task", got)
+	}
+}
+
+func TestPickSkipsNonRunnable(t *testing.T) {
+	s := New()
+	a := mkProc(1, proc.SchedOther, 20)
+	b := mkProc(2, proc.SchedOther, 20)
+	a.State = proc.StateBlocked
+	s.Enqueue(a)
+	s.Enqueue(b)
+	if got := s.Pick(); got != b {
+		t.Fatalf("Pick = %v, want runnable task", got)
+	}
+	b.State = proc.StateStopped
+	if got := s.Pick(); got != nil {
+		t.Fatalf("Pick = %v, want nil with nothing runnable", got)
+	}
+}
+
+func TestPreempts(t *testing.T) {
+	ts := mkProc(1, proc.SchedOther, 39)
+	rtLo := mkProc(2, proc.SchedFIFO, 1)
+	rtHi := mkProc(3, proc.SchedFIFO, 50)
+	if !Preempts(rtLo, ts) {
+		t.Fatal("FIFO should preempt time-sharing")
+	}
+	if Preempts(ts, rtLo) {
+		t.Fatal("time-sharing must not preempt FIFO")
+	}
+	if !Preempts(rtHi, rtLo) {
+		t.Fatal("higher FIFO prio should preempt lower")
+	}
+	if Preempts(rtLo, rtHi) {
+		t.Fatal("lower FIFO prio must not preempt higher")
+	}
+	if Preempts(rtLo, rtLo) {
+		t.Fatal("equal priority must not preempt")
+	}
+	if !Preempts(ts, nil) {
+		t.Fatal("anything preempts idle")
+	}
+}
+
+func TestEmptyPick(t *testing.T) {
+	s := New()
+	if s.Pick() != nil {
+		t.Fatal("Pick on empty scheduler")
+	}
+}
+
+// The paper's argument: a checkpointing agent running as a SCHED_OTHER
+// process is repeatedly preempted as system load grows, while a FIFO
+// kernel thread is not. Model a run-to-completion race.
+func TestFIFOChkptThreadUnaffectedByLoad(t *testing.T) {
+	for _, load := range []int{0, 4, 16} {
+		s := New()
+		ckpt := mkProc(100, proc.SchedFIFO, 50)
+		s.Enqueue(ckpt)
+		for i := 0; i < load; i++ {
+			s.Enqueue(mkProc(i+1, proc.SchedOther, 20))
+		}
+		// The FIFO task must win every pick until it blocks or exits.
+		for i := 0; i < 50; i++ {
+			if got := s.Pick(); got != ckpt {
+				t.Fatalf("load %d: pick %v, want ckpt thread", load, got)
+			}
+			s.Tick(ckpt)
+		}
+	}
+}

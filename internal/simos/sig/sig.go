@@ -1,0 +1,308 @@
+// Package sig models per-process POSIX-style signal state: numbers,
+// dispositions, handler registration, pending and blocked sets, and the
+// kernel facility — used by EPCKPT, CHPOX and Software Suspend — of adding
+// a brand-new kernel signal whose default action checkpoints (or freezes)
+// the process (§4.1 "Kernel-mode signal handler").
+//
+// It also models the reentrancy hazard the paper raises for user-level
+// schemes (§3): a handler that calls non-reentrant C library functions
+// (malloc/free) can deadlock if it interrupts the process inside one.
+package sig
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signal is a signal number.
+type Signal int
+
+// The standard signals the simulator knows about. Values follow Linux
+// x86 numbering where it matters to the mechanisms being modeled.
+const (
+	SIGHUP    Signal = 1
+	SIGINT    Signal = 2
+	SIGQUIT   Signal = 3
+	SIGKILL   Signal = 9
+	SIGUSR1   Signal = 10
+	SIGSEGV   Signal = 11
+	SIGUSR2   Signal = 12
+	SIGALRM   Signal = 14
+	SIGTERM   Signal = 15
+	SIGCHLD   Signal = 17
+	SIGCONT   Signal = 18
+	SIGSTOP   Signal = 19
+	SIGSYS    Signal = 31 // repurposed by CHPOX as its checkpoint signal
+	SIGUNUSED Signal = 31 // historical alias, as used by Condor
+
+	// NumStandard is the first number available for new kernel signals
+	// (EPCKPT's checkpoint signal, Software Suspend's freeze signal).
+	NumStandard Signal = 32
+)
+
+var names = map[Signal]string{
+	SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGQUIT: "SIGQUIT", SIGKILL: "SIGKILL",
+	SIGUSR1: "SIGUSR1", SIGSEGV: "SIGSEGV", SIGUSR2: "SIGUSR2", SIGALRM: "SIGALRM",
+	SIGTERM: "SIGTERM", SIGCHLD: "SIGCHLD", SIGCONT: "SIGCONT", SIGSTOP: "SIGSTOP",
+	SIGSYS: "SIGSYS",
+}
+
+// String returns the conventional name, or SIG<n> for dynamic signals.
+func (s Signal) String() string {
+	if n, ok := names[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("SIG%d", int(s))
+}
+
+// DefaultAction is what the kernel does when no handler is installed.
+type DefaultAction uint8
+
+// Default actions.
+const (
+	ActTerm DefaultAction = iota // terminate the process
+	ActIgn                       // ignore
+	ActStop                      // stop (freeze) the process
+	ActCont                      // continue a stopped process
+	ActCore                      // terminate with core (treated as ActTerm)
+	// ActKernel runs a kernel-registered function in kernel mode: this is
+	// the "new specific signal added to the kernel ... default action is
+	// checkpoint the application" mechanism of §4.1.
+	ActKernel
+)
+
+// Handler is a user-level signal handler. It runs in process context when
+// the kernel delivers the signal at a kernel→user transition.
+type Handler struct {
+	// Fn is the handler body. The argument is opaque process context
+	// supplied by the kernel at delivery time.
+	Fn func(ctx any, s Signal)
+	// UsesNonReentrant marks handlers that call malloc/free-class
+	// functions; delivering one while the process is inside such a
+	// function models the deadlock hazard of §3.
+	UsesNonReentrant bool
+	// Name identifies the installer, for diagnostics.
+	Name string
+}
+
+// Disposition is a process's configured response to one signal.
+type Disposition struct {
+	// Handler, if non-nil, is the installed user handler (overrides default).
+	Handler *Handler
+	// Ignored, if true, discards the signal (SIG_IGN).
+	Ignored bool
+}
+
+// State is the complete per-process signal state; it is part of what a
+// checkpoint must capture (the paper notes user-level schemes must call
+// sigispending()/sigaction() repeatedly to extract it, while the kernel
+// reads it directly).
+type State struct {
+	dispositions map[Signal]Disposition
+	pending      []Signal // FIFO within equal priority; SIGKILL/SIGSTOP first
+	blocked      map[Signal]bool
+}
+
+// NewState returns an empty signal state (all defaults, nothing pending).
+func NewState() *State {
+	return &State{
+		dispositions: make(map[Signal]Disposition),
+		blocked:      make(map[Signal]bool),
+	}
+}
+
+// Clone deep-copies the state (fork and checkpoint both need this).
+func (st *State) Clone() *State {
+	n := NewState()
+	for s, d := range st.dispositions {
+		n.dispositions[s] = d
+	}
+	n.pending = append([]Signal(nil), st.pending...)
+	for s, b := range st.blocked {
+		n.blocked[s] = b
+	}
+	return n
+}
+
+// SetHandler installs a user handler for s. SIGKILL and SIGSTOP cannot be
+// caught, matching POSIX.
+func (st *State) SetHandler(s Signal, h *Handler) error {
+	if s == SIGKILL || s == SIGSTOP {
+		return fmt.Errorf("sig: %v cannot be caught", s)
+	}
+	st.dispositions[s] = Disposition{Handler: h}
+	return nil
+}
+
+// Ignore sets SIG_IGN for s.
+func (st *State) Ignore(s Signal) error {
+	if s == SIGKILL || s == SIGSTOP {
+		return fmt.Errorf("sig: %v cannot be ignored", s)
+	}
+	st.dispositions[s] = Disposition{Ignored: true}
+	return nil
+}
+
+// ResetToDefault restores SIG_DFL for s.
+func (st *State) ResetToDefault(s Signal) { delete(st.dispositions, s) }
+
+// Disposition returns the configured response for s.
+func (st *State) Disposition(s Signal) Disposition { return st.dispositions[s] }
+
+// Handlers returns the installed handlers, keyed by signal, in stable order.
+func (st *State) Handlers() []struct {
+	Sig Signal
+	H   *Handler
+} {
+	var out []struct {
+		Sig Signal
+		H   *Handler
+	}
+	sigs := make([]Signal, 0, len(st.dispositions))
+	for s := range st.dispositions {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	for _, s := range sigs {
+		if d := st.dispositions[s]; d.Handler != nil {
+			out = append(out, struct {
+				Sig Signal
+				H   *Handler
+			}{s, d.Handler})
+		}
+	}
+	return out
+}
+
+// Block adds s to the blocked mask (sigprocmask). SIGKILL/SIGSTOP cannot
+// be blocked.
+func (st *State) Block(s Signal) {
+	if s == SIGKILL || s == SIGSTOP {
+		return
+	}
+	st.blocked[s] = true
+}
+
+// Unblock removes s from the blocked mask.
+func (st *State) Unblock(s Signal) { delete(st.blocked, s) }
+
+// Blocked reports whether s is currently blocked.
+func (st *State) Blocked(s Signal) bool { return st.blocked[s] }
+
+// BlockedSet returns the blocked signals in ascending order.
+func (st *State) BlockedSet() []Signal {
+	out := make([]Signal, 0, len(st.blocked))
+	for s := range st.blocked {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Raise marks s pending. Duplicate standard signals coalesce, as on Linux.
+func (st *State) Raise(s Signal) {
+	for _, p := range st.pending {
+		if p == s {
+			return
+		}
+	}
+	st.pending = append(st.pending, s)
+}
+
+// Pending returns the pending set in delivery order without consuming it
+// (what sigispending() exposes to user level).
+func (st *State) Pending() []Signal {
+	return append([]Signal(nil), st.pending...)
+}
+
+// HasPending reports whether s is pending.
+func (st *State) HasPending(s Signal) bool {
+	for _, p := range st.pending {
+		if p == s {
+			return true
+		}
+	}
+	return false
+}
+
+// NextDeliverable dequeues the next pending signal that is not blocked.
+// SIGKILL and SIGSTOP always deliver first. Returns false when nothing is
+// deliverable.
+func (st *State) NextDeliverable() (Signal, bool) {
+	// Priority pass for unblockable signals.
+	for i, s := range st.pending {
+		if s == SIGKILL || s == SIGSTOP {
+			st.pending = append(st.pending[:i], st.pending[i+1:]...)
+			return s, true
+		}
+	}
+	for i, s := range st.pending {
+		if !st.blocked[s] {
+			st.pending = append(st.pending[:i], st.pending[i+1:]...)
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Table is the system-wide signal table: maps dynamically registered
+// kernel signals to their kernel-mode actions. It models the kernel
+// modification EPCKPT, CHPOX, and Software Suspend each make: "a new
+// specific signal is added to the kernel" whose default action runs in
+// kernel mode.
+type Table struct {
+	next    Signal
+	actions map[Signal]KernelAction
+	names   map[Signal]string
+}
+
+// KernelAction is a kernel-mode default action bound to a registered
+// signal. It runs with full kernel privileges in the context of the
+// receiving process.
+type KernelAction func(ctx any, s Signal)
+
+// NewTable returns a table with no registered kernel signals.
+func NewTable() *Table {
+	return &Table{
+		next:    NumStandard,
+		actions: make(map[Signal]KernelAction),
+		names:   make(map[Signal]string),
+	}
+}
+
+// Register allocates a new kernel signal with the given kernel-mode
+// default action (e.g. "checkpoint the application").
+func (t *Table) Register(name string, act KernelAction) Signal {
+	s := t.next
+	t.next++
+	t.actions[s] = act
+	t.names[s] = name
+	return s
+}
+
+// Override binds a kernel action to an existing standard signal number,
+// as CHPOX does by repurposing SIGSYS.
+func (t *Table) Override(s Signal, name string, act KernelAction) {
+	t.actions[s] = act
+	t.names[s] = name
+}
+
+// Unregister removes a kernel action (module unload).
+func (t *Table) Unregister(s Signal) {
+	delete(t.actions, s)
+	delete(t.names, s)
+}
+
+// Action returns the kernel action for s, if any.
+func (t *Table) Action(s Signal) (KernelAction, bool) {
+	a, ok := t.actions[s]
+	return a, ok
+}
+
+// Name returns the registered name for a kernel signal.
+func (t *Table) Name(s Signal) string {
+	if n, ok := t.names[s]; ok {
+		return n
+	}
+	return s.String()
+}

@@ -1,0 +1,172 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignalNames(t *testing.T) {
+	if SIGKILL.String() != "SIGKILL" {
+		t.Fatal("SIGKILL name")
+	}
+	if Signal(40).String() != "SIG40" {
+		t.Fatalf("dynamic signal name = %s", Signal(40))
+	}
+}
+
+func TestSetHandlerRejectsKillStop(t *testing.T) {
+	st := NewState()
+	h := &Handler{Fn: func(any, Signal) {}}
+	if err := st.SetHandler(SIGKILL, h); err == nil {
+		t.Fatal("SIGKILL handler accepted")
+	}
+	if err := st.SetHandler(SIGSTOP, h); err == nil {
+		t.Fatal("SIGSTOP handler accepted")
+	}
+	if err := st.Ignore(SIGKILL); err == nil {
+		t.Fatal("SIGKILL ignore accepted")
+	}
+	if err := st.SetHandler(SIGUSR1, h); err != nil {
+		t.Fatal(err)
+	}
+	if st.Disposition(SIGUSR1).Handler != h {
+		t.Fatal("handler not installed")
+	}
+}
+
+func TestPendingCoalesces(t *testing.T) {
+	st := NewState()
+	st.Raise(SIGUSR1)
+	st.Raise(SIGUSR1)
+	st.Raise(SIGUSR2)
+	if p := st.Pending(); len(p) != 2 {
+		t.Fatalf("pending = %v, want coalesced 2", p)
+	}
+	if !st.HasPending(SIGUSR1) || st.HasPending(SIGTERM) {
+		t.Fatal("HasPending wrong")
+	}
+}
+
+func TestDeliveryOrderAndBlocking(t *testing.T) {
+	st := NewState()
+	st.Raise(SIGUSR1)
+	st.Raise(SIGTERM)
+	st.Block(SIGUSR1)
+	s, ok := st.NextDeliverable()
+	if !ok || s != SIGTERM {
+		t.Fatalf("delivered %v, want SIGTERM (USR1 blocked)", s)
+	}
+	if _, ok := st.NextDeliverable(); ok {
+		t.Fatal("blocked signal delivered")
+	}
+	st.Unblock(SIGUSR1)
+	s, ok = st.NextDeliverable()
+	if !ok || s != SIGUSR1 {
+		t.Fatalf("delivered %v after unblock, want SIGUSR1", s)
+	}
+}
+
+func TestKillDeliversFirstAndUnblockable(t *testing.T) {
+	st := NewState()
+	st.Block(SIGKILL) // must be a no-op
+	st.Raise(SIGUSR1)
+	st.Raise(SIGKILL)
+	s, ok := st.NextDeliverable()
+	if !ok || s != SIGKILL {
+		t.Fatalf("delivered %v, want SIGKILL first", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	st := NewState()
+	st.SetHandler(SIGUSR1, &Handler{Name: "ckpt"})
+	st.Raise(SIGALRM)
+	st.Block(SIGUSR2)
+	cl := st.Clone()
+	if cl.Disposition(SIGUSR1).Handler == nil || !cl.HasPending(SIGALRM) || !cl.Blocked(SIGUSR2) {
+		t.Fatal("clone lost state")
+	}
+	cl.Raise(SIGTERM)
+	cl.ResetToDefault(SIGUSR1)
+	if st.HasPending(SIGTERM) || st.Disposition(SIGUSR1).Handler == nil {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestHandlersEnumeration(t *testing.T) {
+	st := NewState()
+	st.SetHandler(SIGUSR2, &Handler{Name: "b"})
+	st.SetHandler(SIGUSR1, &Handler{Name: "a"})
+	st.Ignore(SIGALRM)
+	hs := st.Handlers()
+	if len(hs) != 2 || hs[0].Sig != SIGUSR1 || hs[1].Sig != SIGUSR2 {
+		t.Fatalf("Handlers() = %v", hs)
+	}
+}
+
+func TestTableRegisterAndOverride(t *testing.T) {
+	tb := NewTable()
+	var got Signal
+	s1 := tb.Register("ckpt", func(_ any, s Signal) { got = s })
+	s2 := tb.Register("freeze", nil)
+	if s1 == s2 || s1 < NumStandard {
+		t.Fatalf("allocated %v, %v", s1, s2)
+	}
+	act, ok := tb.Action(s1)
+	if !ok {
+		t.Fatal("action not registered")
+	}
+	act(nil, s1)
+	if got != s1 {
+		t.Fatal("action did not run")
+	}
+	if tb.Name(s1) != "ckpt" {
+		t.Fatalf("Name = %q", tb.Name(s1))
+	}
+
+	tb.Override(SIGSYS, "chpox", func(any, Signal) {})
+	if _, ok := tb.Action(SIGSYS); !ok {
+		t.Fatal("override not visible")
+	}
+	tb.Unregister(SIGSYS)
+	if _, ok := tb.Action(SIGSYS); ok {
+		t.Fatal("unregister failed")
+	}
+}
+
+// Property: every raised (unblocked) signal is eventually delivered exactly
+// once, and delivery never invents signals.
+func TestQuickRaiseDeliverConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		st := NewState()
+		want := map[Signal]int{}
+		for _, r := range raw {
+			s := Signal(1 + int(r)%30)
+			if s == SIGKILL || s == SIGSTOP {
+				continue
+			}
+			st.Raise(s)
+			want[s] = 1 // coalesced
+		}
+		got := map[Signal]int{}
+		for {
+			s, ok := st.NextDeliverable()
+			if !ok {
+				break
+			}
+			got[s]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for s, n := range want {
+			if got[s] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

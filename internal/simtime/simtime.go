@@ -1,0 +1,247 @@
+// Package simtime provides the simulated clock and deterministic
+// discrete-event queue that underpin the whole simulation.
+//
+// All time in the simulator is expressed as simtime.Time, a count of
+// simulated nanoseconds since simulation start. Nothing in the repository
+// reads the wall clock; determinism is a design invariant (see DESIGN.md §4).
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis returns the duration as floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Micros returns the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// String renders a duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d >= Hour:
+		return fmt.Sprintf("%.2fh", float64(d)/float64(Hour))
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// String renders an instant as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Clock is the simulated clock. The zero Clock starts at time 0.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative advances panic: simulated
+// time is monotonic by construction and a negative advance is always a bug.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative advance %d", d))
+	}
+	c.now += Time(d)
+}
+
+// AdvanceTo moves the clock to t, which must not be in the past.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("simtime: AdvanceTo into the past (%v < %v)", t, c.now))
+	}
+	c.now = t
+}
+
+// Event is a scheduled callback. Events at the same instant fire in the
+// order they were scheduled (stable by sequence number), which keeps the
+// simulation deterministic.
+type Event struct {
+	At   Time
+	Fn   func()
+	seq  uint64
+	idx  int
+	dead bool
+}
+
+// Cancel marks the event so that the queue will discard it instead of
+// running it. Cancelling an already-fired event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Queue is a deterministic min-heap of events.
+// The zero Queue is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Schedule enqueues fn to run at instant at and returns the event handle.
+func (q *Queue) Schedule(at Time, fn func()) *Event {
+	q.seq++
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Len reports the number of pending events (including cancelled ones that
+// have not yet been discarded).
+func (q *Queue) Len() int { return len(q.h) }
+
+// Empty reports whether no live events remain.
+func (q *Queue) Empty() bool {
+	q.discardDead()
+	return len(q.h) == 0
+}
+
+// NextAt returns the time of the earliest live event.
+// The second result is false when the queue is empty.
+func (q *Queue) NextAt() (Time, bool) {
+	q.discardDead()
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest live event, or nil if none remain.
+func (q *Queue) Pop() *Event {
+	q.discardDead()
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+func (q *Queue) discardDead() {
+	for len(q.h) > 0 && q.h[0].dead {
+		heap.Pop(&q.h)
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine couples a clock with an event queue and runs events in order.
+type Engine struct {
+	Clock Clock
+	Queue Queue
+}
+
+// Now returns the engine's current simulated time.
+func (e *Engine) Now() Time { return e.Clock.Now() }
+
+// After schedules fn to run d after now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.Queue.Schedule(e.Clock.Now().Add(d), fn)
+}
+
+// At schedules fn to run at instant t (not before now).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.Clock.Now() {
+		panic("simtime: scheduling event in the past")
+	}
+	return e.Queue.Schedule(t, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its instant.
+// An event whose instant has already passed (time was advanced directly by
+// cost accounting while it was pending) runs late, at the current time.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	ev := e.Queue.Pop()
+	if ev == nil {
+		return false
+	}
+	if ev.At > e.Clock.Now() {
+		e.Clock.AdvanceTo(ev.At)
+	}
+	ev.Fn()
+	return true
+}
+
+// RunUntil runs events until the queue is empty or the next event is after
+// deadline. The clock finishes at min(deadline, time of last event run).
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		at, ok := e.Queue.NextAt()
+		if !ok || at > deadline {
+			if deadline > e.Clock.Now() {
+				e.Clock.AdvanceTo(deadline)
+			}
+			return
+		}
+		e.Step()
+	}
+}
+
+// Drain runs events until none remain. A maxEvents guard (0 = no limit)
+// protects against runaway self-rescheduling loops in tests.
+func (e *Engine) Drain(maxEvents int) int {
+	n := 0
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * Millisecond)
+	if got := c.Now(); got != Time(5*Millisecond) {
+		t.Fatalf("Now = %v, want 5ms", got)
+	}
+	c.AdvanceTo(Time(Second))
+	if got := c.Now(); got != Time(Second) {
+		t.Fatalf("Now = %v, want 1s", got)
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceToPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(Second)
+	c.AdvanceTo(0)
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+		{90 * Minute, "1.50h"},
+		{-2 * Second, "-2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Drain(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("event order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock after drain = %v, want 30", e.Now())
+	}
+}
+
+func TestQueueStableAtSameInstant(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Drain(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	ev.Cancel()
+	e.At(20, func() {})
+	e.Drain(0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var got []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(20)
+	if len(got) != 2 {
+		t.Fatalf("ran %d events, want 2", len(got))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20 (deadline)", e.Now())
+	}
+	e.RunUntil(100)
+	if len(got) != 3 {
+		t.Fatalf("ran %d events total, want 3", len(got))
+	}
+}
+
+func TestDrainGuard(t *testing.T) {
+	var e Engine
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	n := e.Drain(50)
+	if n != 50 {
+		t.Fatalf("Drain ran %d events, want guard at 50", n)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At() in the past did not panic")
+		}
+	}()
+	var e Engine
+	e.Clock.Advance(Second)
+	e.At(5, func() {})
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// insertion order.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		var e Engine
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Drain(0)
+		if len(fired) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved schedule/step sequences never observe the clock
+// moving backwards.
+func TestQuickClockMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var e Engine
+	last := Time(0)
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(2) == 0 {
+			e.After(Duration(rng.Intn(1000)), func() {})
+		} else {
+			e.Step()
+		}
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %v < %v", e.Now(), last)
+		}
+		last = e.Now()
+	}
+}
+
+func BenchmarkQueueScheduleAndPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	var e Engine
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Queue.Schedule(e.Now().Add(Duration(rng.Intn(1024))), func() {})
+		if i%2 == 1 {
+			e.Step()
+		}
+	}
+}

@@ -1,0 +1,465 @@
+// Package storage models stable storage for checkpoint data: node-local
+// disk, a remote checkpoint server reached over the interconnect, and a
+// memory target (Software Suspend's standby mode). Table 1's "Stable
+// storage" column — local, remote, or none — is the Kind a mechanism
+// writes to, and §4.1's fault-tolerance argument hinges on the difference:
+// node-local checkpoints become unavailable when the node fails.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/simtime"
+)
+
+// Kind classifies a target for Table 1.
+type Kind uint8
+
+// Target kinds.
+const (
+	KindNone Kind = iota
+	KindLocal
+	KindRemote
+	KindMemory
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindLocal:
+		return "local"
+	case KindRemote:
+		return "remote"
+	case KindMemory:
+		return "memory"
+	}
+	return "?"
+}
+
+// Env carries the accounting hooks for storage operations. Bill charges
+// CPU-attributed time; Wait spends I/O time, during which a kernel-backed
+// Env lets other processes run.
+type Env struct {
+	Bill costmodel.Biller
+	Wait func(d simtime.Duration, what string)
+}
+
+// NopEnv returns an Env that discards all accounting (probing, tests).
+func NopEnv() *Env {
+	return &Env{Bill: costmodel.Discard{}, Wait: func(simtime.Duration, string) {}}
+}
+
+// orNop substitutes a discarding Env for nil, so callers that do not care
+// about accounting can pass nil everywhere.
+func orNop(env *Env) *Env {
+	if env == nil {
+		return NopEnv()
+	}
+	return env
+}
+
+// LedgerEnv returns an Env accumulating both CPU and wait time in l.
+func LedgerEnv(l *costmodel.Ledger) *Env {
+	return &Env{Bill: l, Wait: func(d simtime.Duration, what string) { l.Charge(d, "wait:"+what) }}
+}
+
+// Errors.
+var (
+	ErrUnavailable = errors.New("storage: target unavailable")
+	ErrNotFound    = errors.New("storage: object not found")
+)
+
+// Writer receives checkpoint bytes. Commit makes the object durable and
+// visible; Abort discards it.
+type Writer interface {
+	Write(p []byte) (int, error)
+	Commit() error
+	Abort()
+}
+
+// Target is a place checkpoints are written to and restarted from.
+type Target interface {
+	Name() string
+	Kind() Kind
+	// Available reports whether the target's data can be reached now (a
+	// failed node's local disk is not).
+	Available() bool
+	Create(object string, env *Env) (Writer, error)
+	ReadObject(object string, env *Env) ([]byte, error)
+	List() []string
+	Delete(object string) error
+	// ObjectSize returns the stored size of an object.
+	ObjectSize(object string) (int, error)
+}
+
+// chunk is the transfer granularity for cost accounting.
+const chunk = 64 << 10
+
+// --- In-memory object store used by all targets ---
+
+type objectStore struct {
+	objects map[string][]byte
+}
+
+func newObjectStore() *objectStore { return &objectStore{objects: make(map[string][]byte)} }
+
+func (s *objectStore) list() []string {
+	names := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- Local disk ---
+
+// Local is a node-local disk target. Liveness is delegated to the owning
+// node: when the node is down the checkpoints are unreachable, which is
+// exactly why Table 1 flags local-only mechanisms as weak fault tolerance.
+type Local struct {
+	name  string
+	cm    *costmodel.Model
+	store *objectStore
+	alive func() bool
+}
+
+// NewLocal creates a local-disk target; alive reports node liveness
+// (nil = always alive).
+func NewLocal(name string, cm *costmodel.Model, alive func() bool) *Local {
+	if alive == nil {
+		alive = func() bool { return true }
+	}
+	return &Local{name: name, cm: cm, store: newObjectStore(), alive: alive}
+}
+
+// Name implements Target.
+func (l *Local) Name() string { return l.name }
+
+// Kind implements Target.
+func (l *Local) Kind() Kind { return KindLocal }
+
+// Available implements Target.
+func (l *Local) Available() bool { return l.alive() }
+
+// Create implements Target.
+func (l *Local) Create(object string, env *Env) (Writer, error) {
+	env = orNop(env)
+	if !l.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, l.name)
+	}
+	// One seek to start the file.
+	env.Wait(l.cm.DiskSeek, "disk-seek")
+	return &localWriter{l: l, object: object, env: env}, nil
+}
+
+type localWriter struct {
+	l      *Local
+	object string
+	env    *Env
+	buf    []byte
+	done   bool
+}
+
+func (w *localWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, errors.New("storage: write after commit")
+	}
+	if !w.l.Available() {
+		return 0, fmt.Errorf("%w: %s", ErrUnavailable, w.l.name)
+	}
+	w.env.Wait(w.l.cm.DiskStream(len(p)), "disk-write")
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *localWriter) Commit() error {
+	if w.done {
+		return errors.New("storage: double commit")
+	}
+	if !w.l.Available() {
+		return fmt.Errorf("%w: %s", ErrUnavailable, w.l.name)
+	}
+	w.done = true
+	w.l.store.objects[w.object] = w.buf
+	return nil
+}
+
+func (w *localWriter) Abort() { w.done = true; w.buf = nil }
+
+// ReadObject implements Target.
+func (l *Local) ReadObject(object string, env *Env) ([]byte, error) {
+	env = orNop(env)
+	if !l.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, l.name)
+	}
+	data, ok := l.store.objects[object]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, l.name, object)
+	}
+	env.Wait(l.cm.DiskWrite(len(data)), "disk-read") // seek + stream
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Target.
+func (l *Local) List() []string { return l.store.list() }
+
+// Delete implements Target.
+func (l *Local) Delete(object string) error {
+	if _, ok := l.store.objects[object]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, l.name, object)
+	}
+	delete(l.store.objects, object)
+	return nil
+}
+
+// ObjectSize implements Target.
+func (l *Local) ObjectSize(object string) (int, error) {
+	data, ok := l.store.objects[object]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, l.name, object)
+	}
+	return len(data), nil
+}
+
+// --- Remote checkpoint server ---
+
+// Server is the shared remote checkpoint store (e.g. a parallel
+// filesystem or dedicated checkpoint server). It survives compute-node
+// failures; Fail/Recover model server outages for failure-injection tests.
+type Server struct {
+	name   string
+	cm     *costmodel.Model
+	store  *objectStore
+	failed bool
+}
+
+// NewServer creates a remote checkpoint server.
+func NewServer(name string, cm *costmodel.Model) *Server {
+	return &Server{name: name, cm: cm, store: newObjectStore()}
+}
+
+// Fail takes the server down; Recover brings it back with data intact.
+func (s *Server) Fail() { s.failed = true }
+
+// Recover brings the server back.
+func (s *Server) Recover() { s.failed = false }
+
+// Remote is a node's client view of a Server: every byte crosses the
+// interconnect (charged per chunk) and then the server's disk.
+type Remote struct {
+	name string
+	srv  *Server
+	cm   *costmodel.Model
+}
+
+// NewRemote returns a client for srv, charging transfers with cm.
+func NewRemote(name string, srv *Server) *Remote {
+	return &Remote{name: name, srv: srv, cm: srv.cm}
+}
+
+// Name implements Target.
+func (r *Remote) Name() string { return r.name }
+
+// Kind implements Target.
+func (r *Remote) Kind() Kind { return KindRemote }
+
+// Available implements Target.
+func (r *Remote) Available() bool { return !r.srv.failed }
+
+// Create implements Target.
+func (r *Remote) Create(object string, env *Env) (Writer, error) {
+	env = orNop(env)
+	if !r.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, r.name)
+	}
+	env.Wait(r.cm.DiskSeek, "server-seek")
+	return &remoteWriter{r: r, object: object, env: env}, nil
+}
+
+type remoteWriter struct {
+	r      *Remote
+	object string
+	env    *Env
+	buf    []byte
+	done   bool
+}
+
+func (w *remoteWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, errors.New("storage: write after commit")
+	}
+	if !w.r.Available() {
+		return 0, fmt.Errorf("%w: %s", ErrUnavailable, w.r.name)
+	}
+	for off := 0; off < len(p); off += chunk {
+		n := len(p) - off
+		if n > chunk {
+			n = chunk
+		}
+		w.env.Wait(w.r.cm.NetTransfer(n)+w.r.cm.DiskStream(n), "net-write")
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *remoteWriter) Commit() error {
+	if w.done {
+		return errors.New("storage: double commit")
+	}
+	if !w.r.Available() {
+		return fmt.Errorf("%w: %s", ErrUnavailable, w.r.name)
+	}
+	w.done = true
+	w.r.srv.store.objects[w.object] = w.buf
+	return nil
+}
+
+func (w *remoteWriter) Abort() { w.done = true; w.buf = nil }
+
+// ReadObject implements Target.
+func (r *Remote) ReadObject(object string, env *Env) ([]byte, error) {
+	env = orNop(env)
+	if !r.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, r.name)
+	}
+	data, ok := r.srv.store.objects[object]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, r.name, object)
+	}
+	env.Wait(r.cm.DiskSeek, "server-seek")
+	for off := 0; off < len(data); off += chunk {
+		n := len(data) - off
+		if n > chunk {
+			n = chunk
+		}
+		env.Wait(r.cm.NetTransfer(n)+r.cm.DiskStream(n), "net-read")
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Target.
+func (r *Remote) List() []string { return r.srv.store.list() }
+
+// Delete implements Target.
+func (r *Remote) Delete(object string) error {
+	if _, ok := r.srv.store.objects[object]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, r.name, object)
+	}
+	delete(r.srv.store.objects, object)
+	return nil
+}
+
+// ObjectSize implements Target.
+func (r *Remote) ObjectSize(object string) (int, error) {
+	data, ok := r.srv.store.objects[object]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, r.name, object)
+	}
+	return len(data), nil
+}
+
+// --- Memory target ---
+
+// Memory is a zero-latency in-RAM target (Software Suspend's standby
+// functionality: "saving the image to memory rather than to disk"). Its
+// contents do not survive a node failure or power-down.
+type Memory struct {
+	name  string
+	store *objectStore
+	alive func() bool
+}
+
+// NewMemory creates a memory target; alive is the owning node's liveness.
+func NewMemory(name string, alive func() bool) *Memory {
+	if alive == nil {
+		alive = func() bool { return true }
+	}
+	return &Memory{name: name, store: newObjectStore(), alive: alive}
+}
+
+// Name implements Target.
+func (m *Memory) Name() string { return m.name }
+
+// Kind implements Target.
+func (m *Memory) Kind() Kind { return KindMemory }
+
+// Available implements Target.
+func (m *Memory) Available() bool { return m.alive() }
+
+// Drop destroys all contents (power loss).
+func (m *Memory) Drop() { m.store = newObjectStore() }
+
+// Create implements Target.
+func (m *Memory) Create(object string, env *Env) (Writer, error) {
+	env = orNop(env)
+	if !m.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, m.name)
+	}
+	return &memWriter{m: m, object: object, env: env}, nil
+}
+
+type memWriter struct {
+	m      *Memory
+	object string
+	env    *Env
+	buf    []byte
+	done   bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, errors.New("storage: write after commit")
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *memWriter) Commit() error {
+	if w.done {
+		return errors.New("storage: double commit")
+	}
+	w.done = true
+	w.m.store.objects[w.object] = w.buf
+	return nil
+}
+
+func (w *memWriter) Abort() { w.done = true; w.buf = nil }
+
+// ReadObject implements Target.
+func (m *Memory) ReadObject(object string, env *Env) ([]byte, error) {
+	env = orNop(env)
+	if !m.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, m.name)
+	}
+	data, ok := m.store.objects[object]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, object)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Target.
+func (m *Memory) List() []string { return m.store.list() }
+
+// Delete implements Target.
+func (m *Memory) Delete(object string) error {
+	if _, ok := m.store.objects[object]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, object)
+	}
+	delete(m.store.objects, object)
+	return nil
+}
+
+// ObjectSize implements Target.
+func (m *Memory) ObjectSize(object string) (int, error) {
+	data, ok := m.store.objects[object]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, object)
+	}
+	return len(data), nil
+}

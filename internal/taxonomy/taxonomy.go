@@ -1,0 +1,314 @@
+// Package taxonomy models Figure 1 (the classification of checkpoint/
+// restart implementations) and Table 1 (the feature matrix of the twelve
+// surveyed systems). The survey binary regenerates both: the figure from
+// the tree below, the table by probing the live mechanism implementations
+// and diffing against the paper's published rows.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Context is the coarsest dimension of Figure 1.
+type Context uint8
+
+// Contexts.
+const (
+	UserLevel Context = iota
+	SystemLevel
+)
+
+func (c Context) String() string {
+	if c == SystemLevel {
+		return "system-level"
+	}
+	return "user-level"
+}
+
+// Agent is the second dimension: what provides the C/R functionality.
+type Agent uint8
+
+// Agents, following Figure 1's branches.
+const (
+	AgentLibrary      Agent = iota // checkpointing library linked into the app
+	AgentPrecompiler               // source-to-source instrumentation
+	AgentUserSignal                // user-level signal handler (SIGALRM/SIGUSR*)
+	AgentPreload                   // LD_PRELOAD interposition
+	AgentSyscall                   // new system call in the kernel
+	AgentKernelSignal              // new kernel signal, default action in kernel mode
+	AgentKernelThread              // kernel thread (+ /dev ioctl or /proc interface)
+	AgentHardware                  // purpose-built hardware (directory/caches)
+)
+
+func (a Agent) String() string {
+	switch a {
+	case AgentLibrary:
+		return "library"
+	case AgentPrecompiler:
+		return "pre-compiler"
+	case AgentUserSignal:
+		return "user signal handler"
+	case AgentPreload:
+		return "LD_PRELOAD"
+	case AgentSyscall:
+		return "system call"
+	case AgentKernelSignal:
+		return "kernel signal"
+	case AgentKernelThread:
+		return "kernel thread"
+	case AgentHardware:
+		return "hardware"
+	}
+	return "?"
+}
+
+// Initiation is Table 1's "Initiation" column: who starts a checkpoint.
+type Initiation uint8
+
+// Initiation kinds.
+const (
+	InitAutomatic Initiation = iota // the application/system checkpoints itself
+	InitUser                        // an operator/tool initiates (kill, ioctl, /proc)
+)
+
+func (i Initiation) String() string {
+	if i == InitUser {
+		return "user"
+	}
+	return "automatic"
+}
+
+// Features is one row of the (extended) Table 1, plus the classification
+// dimensions of Figure 1 and the extra capabilities §4.1 discusses.
+type Features struct {
+	Name    string
+	Context Context
+	Agent   Agent
+
+	// The five published Table 1 columns.
+	Incremental  bool
+	Transparent  bool
+	Storage      []storage.Kind // empty = "none"
+	Initiation   Initiation
+	KernelModule bool
+
+	// Additional capabilities discussed in the text.
+	Multithreaded        bool // BLCR, libtckpt, Checkpoint
+	ParallelApps         bool // LAM/MPI, CoCheck-class
+	VirtualizesResources bool // ZAP pods
+	PreservesPID         bool // UCLiK, ZAP
+	RestoresDeletedFiles bool // UCLiK
+	ForkConsistency      bool // Checkpoint [5]
+	WholeMachine         bool // Software Suspend
+}
+
+// StorageString renders the storage column as in the paper.
+func (f Features) StorageString() string {
+	if len(f.Storage) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(f.Storage))
+	for _, s := range f.Storage {
+		parts = append(parts, s.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// Row renders the five published columns.
+func (f Features) Row() [6]string {
+	return [6]string{f.Name, yn(f.Incremental), yn(f.Transparent), f.StorageString(), f.Initiation.String(), yn(f.KernelModule)}
+}
+
+// PaperTable1 returns the twelve rows exactly as published (Table 1).
+func PaperTable1() []Features {
+	return []Features{
+		{Name: "VMADump", Context: SystemLevel, Agent: AgentSyscall, Storage: []storage.Kind{storage.KindLocal, storage.KindRemote}, Initiation: InitAutomatic},
+		{Name: "BPROC", Context: SystemLevel, Agent: AgentSyscall, Initiation: InitAutomatic},
+		{Name: "EPCKPT", Context: SystemLevel, Agent: AgentSyscall, Transparent: true, Storage: []storage.Kind{storage.KindLocal, storage.KindRemote}, Initiation: InitUser},
+		{Name: "CRAK", Context: SystemLevel, Agent: AgentKernelThread, Transparent: true, Storage: []storage.Kind{storage.KindLocal, storage.KindRemote}, Initiation: InitUser, KernelModule: true},
+		{Name: "UCLiK", Context: SystemLevel, Agent: AgentKernelThread, Transparent: true, Storage: []storage.Kind{storage.KindLocal}, Initiation: InitUser, KernelModule: true, PreservesPID: true, RestoresDeletedFiles: true},
+		{Name: "CHPOX", Context: SystemLevel, Agent: AgentKernelSignal, Transparent: true, Storage: []storage.Kind{storage.KindLocal}, Initiation: InitUser, KernelModule: true},
+		{Name: "ZAP", Context: SystemLevel, Agent: AgentKernelThread, Transparent: true, Initiation: InitUser, KernelModule: true, VirtualizesResources: true, PreservesPID: true},
+		{Name: "BLCR", Context: SystemLevel, Agent: AgentKernelThread, Storage: []storage.Kind{storage.KindLocal, storage.KindRemote}, Initiation: InitUser, KernelModule: true, Multithreaded: true},
+		{Name: "LAM/MPI", Context: SystemLevel, Agent: AgentKernelThread, Storage: []storage.Kind{storage.KindLocal, storage.KindRemote}, Initiation: InitUser, KernelModule: true, Multithreaded: true, ParallelApps: true},
+		{Name: "PsncR/C", Context: SystemLevel, Agent: AgentKernelThread, Transparent: true, Storage: []storage.Kind{storage.KindLocal}, Initiation: InitUser, KernelModule: true},
+		{Name: "Software Suspend", Context: SystemLevel, Agent: AgentKernelSignal, Transparent: true, Storage: []storage.Kind{storage.KindLocal}, Initiation: InitUser, WholeMachine: true},
+		{Name: "Checkpoint", Context: SystemLevel, Agent: AgentSyscall, Storage: []storage.Kind{storage.KindLocal}, Initiation: InitAutomatic, Multithreaded: true, ForkConsistency: true},
+	}
+}
+
+// RenderTable renders rows in the paper's Table 1 layout.
+func RenderTable(rows []Features) string {
+	headers := [6]string{"Name", "Incremental", "Transparency", "Stable storage", "Initiation", "Kernel module"}
+	width := [6]int{}
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	cells := make([][6]string, 0, len(rows))
+	for _, f := range rows {
+		r := f.Row()
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+		cells = append(cells, r)
+	}
+	var b strings.Builder
+	writeRow := func(r [6]string) {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	b.WriteString(strings.Repeat("-", sum(width[:])+12) + "\n")
+	for _, r := range cells {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// DiffTable compares probed rows against the paper's, returning one
+// message per mismatch (empty = exact reproduction).
+func DiffTable(probed []Features) []string {
+	want := map[string][6]string{}
+	for _, f := range PaperTable1() {
+		want[f.Name] = f.Row()
+	}
+	var diffs []string
+	seen := map[string]bool{}
+	for _, f := range probed {
+		w, ok := want[f.Name]
+		if !ok {
+			continue // extensions beyond the paper's table are not diffs
+		}
+		seen[f.Name] = true
+		g := f.Row()
+		for i := 1; i < 6; i++ {
+			if g[i] != w[i] {
+				col := [6]string{"", "incremental", "transparency", "storage", "initiation", "module"}[i]
+				diffs = append(diffs, fmt.Sprintf("%s: %s = %q, paper says %q", f.Name, col, g[i], w[i]))
+			}
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			diffs = append(diffs, fmt.Sprintf("%s: missing from probe", name))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}
+
+// Node is one vertex of the Figure 1 classification tree.
+type Node struct {
+	Label    string
+	Systems  []string // example systems at this leaf
+	Children []*Node
+}
+
+// Figure1 returns the classification tree of Figure 1.
+func Figure1() *Node {
+	return &Node{
+		Label: "Checkpoint/restart implementations",
+		Children: []*Node{
+			{
+				Label: "user-level",
+				Children: []*Node{
+					{Label: "source code / checkpointing library", Systems: []string{"libckpt", "libckp", "Condor", "libtckpt", "CLIP", "CoCheck"}},
+					{Label: "pre-compiler", Systems: []string{"CCIFT"}},
+					{Label: "signal handler (SIGALRM, SIGUSR*)", Systems: []string{"libckpt", "Esky", "Condor"}},
+					{Label: "LD_PRELOAD interposition", Systems: []string{"Condor"}},
+				},
+			},
+			{
+				Label: "system-level",
+				Children: []*Node{
+					{
+						Label: "operating system",
+						Children: []*Node{
+							{Label: "system call", Systems: []string{"VMADump", "BProc", "EPCKPT", "Checkpoint"}},
+							{Label: "kernel-mode signal handler", Systems: []string{"CHPOX", "Software Suspend", "EPCKPT"}},
+							{Label: "kernel thread (/dev ioctl, /proc, syscall)", Systems: []string{"CRAK", "ZAP", "UCLiK", "BLCR", "LAM/MPI", "PsncR/C"}},
+						},
+					},
+					{
+						Label: "hardware",
+						Children: []*Node{
+							{Label: "directory controller logging", Systems: []string{"ReVive"}},
+							{Label: "cache checkpoint log buffers", Systems: []string{"SafetyNet"}},
+						},
+					},
+				},
+			},
+		},
+	}
+}
+
+// RenderTree renders the tree as ASCII art.
+func RenderTree(n *Node) string {
+	var b strings.Builder
+	var walk func(n *Node, prefix string, last bool, root bool)
+	walk = func(n *Node, prefix string, last, root bool) {
+		label := n.Label
+		if len(n.Systems) > 0 {
+			label += "  [" + strings.Join(n.Systems, ", ") + "]"
+		}
+		if root {
+			b.WriteString(label + "\n")
+		} else {
+			branch := "├── "
+			if last {
+				branch = "└── "
+			}
+			b.WriteString(prefix + branch + label + "\n")
+		}
+		childPrefix := prefix
+		if !root {
+			if last {
+				childPrefix += "    "
+			} else {
+				childPrefix += "│   "
+			}
+		}
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1, false)
+		}
+	}
+	walk(n, "", true, true)
+	return b.String()
+}
+
+// Leaves returns all leaf labels of the tree (used to verify coverage:
+// every taxonomy leaf has at least one implementation in this repo).
+func Leaves(n *Node) []string {
+	if len(n.Children) == 0 {
+		return []string{n.Label}
+	}
+	var out []string
+	for _, c := range n.Children {
+		out = append(out, Leaves(c)...)
+	}
+	return out
+}

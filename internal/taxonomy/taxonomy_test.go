@@ -1,0 +1,127 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestPaperTable1HasTwelveRows(t *testing.T) {
+	rows := PaperTable1()
+	if len(rows) != 12 {
+		t.Fatalf("Table 1 rows = %d, want 12", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		if names[r.Name] {
+			t.Fatalf("duplicate row %q", r.Name)
+		}
+		names[r.Name] = true
+		// The paper's table: no system implements incremental checkpointing.
+		if r.Incremental {
+			t.Fatalf("%s: paper says incremental=no for all rows", r.Name)
+		}
+	}
+	for _, want := range []string{"VMADump", "BPROC", "EPCKPT", "CRAK", "UCLiK", "CHPOX", "ZAP", "BLCR", "LAM/MPI", "PsncR/C", "Software Suspend", "Checkpoint"} {
+		if !names[want] {
+			t.Fatalf("missing row %q", want)
+		}
+	}
+}
+
+func TestRowRendering(t *testing.T) {
+	f := Features{
+		Name:        "CRAK",
+		Transparent: true,
+		Storage:     []storage.Kind{storage.KindRemote, storage.KindLocal},
+		Initiation:  InitUser, KernelModule: true,
+	}
+	r := f.Row()
+	want := [6]string{"CRAK", "no", "yes", "local,remote", "user", "yes"}
+	if r != want {
+		t.Fatalf("Row = %v, want %v", r, want)
+	}
+	if (Features{Name: "ZAP"}).StorageString() != "none" {
+		t.Fatal("empty storage should render as none")
+	}
+}
+
+func TestRenderTableContainsAllRows(t *testing.T) {
+	out := RenderTable(PaperTable1())
+	for _, name := range []string{"VMADump", "Software Suspend", "Stable storage"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("rendered table missing %q:\n%s", name, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 14 { // header + rule + 12 rows
+		t.Fatalf("table has %d lines, want 14", lines)
+	}
+}
+
+func TestDiffTableExactMatch(t *testing.T) {
+	if diffs := DiffTable(PaperTable1()); len(diffs) != 0 {
+		t.Fatalf("self-diff produced %v", diffs)
+	}
+}
+
+func TestDiffTableDetectsMismatch(t *testing.T) {
+	rows := PaperTable1()
+	rows[0].Transparent = !rows[0].Transparent
+	diffs := DiffTable(rows)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "VMADump") {
+		t.Fatalf("diffs = %v", diffs)
+	}
+}
+
+func TestDiffTableDetectsMissing(t *testing.T) {
+	rows := PaperTable1()[1:]
+	diffs := DiffTable(rows)
+	found := false
+	for _, d := range diffs {
+		if strings.Contains(d, "missing") && strings.Contains(d, "VMADump") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing row not reported: %v", diffs)
+	}
+}
+
+func TestDiffTableIgnoresExtensions(t *testing.T) {
+	rows := append(PaperTable1(), Features{Name: "PAL-incremental", Incremental: true})
+	if diffs := DiffTable(rows); len(diffs) != 0 {
+		t.Fatalf("extension row produced diffs: %v", diffs)
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	root := Figure1()
+	if len(root.Children) != 2 {
+		t.Fatal("root must split user-level/system-level")
+	}
+	leaves := Leaves(root)
+	if len(leaves) < 8 {
+		t.Fatalf("only %d leaves", len(leaves))
+	}
+	out := RenderTree(root)
+	for _, want := range []string{"user-level", "system-level", "kernel thread", "hardware", "ReVive", "BLCR", "LD_PRELOAD"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if UserLevel.String() != "user-level" || SystemLevel.String() != "system-level" {
+		t.Fatal("Context strings")
+	}
+	if InitUser.String() != "user" || InitAutomatic.String() != "automatic" {
+		t.Fatal("Initiation strings")
+	}
+	for a := AgentLibrary; a <= AgentHardware; a++ {
+		if a.String() == "?" {
+			t.Fatalf("agent %d has no name", a)
+		}
+	}
+}

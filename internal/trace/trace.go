@@ -1,0 +1,206 @@
+// Package trace provides the experiment-output plumbing: counters,
+// simple online statistics, and aligned text tables in the style of the
+// paper's Table 1, used by cmd/crbench and the bench harness to print
+// reproducible rows.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series accumulates scalar observations with online mean/min/max.
+type Series struct {
+	n        int
+	sum, sq  float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Series) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sq += v * v
+}
+
+// N returns the observation count.
+func (s *Series) N() int { return s.n }
+
+// Mean returns the mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation.
+func (s *Series) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Series) Max() float64 { return s.max }
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Table renders aligned columns with a header rule, matching the visual
+// style of the paper's Table 1.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends one row; values are rendered with %v, floats compactly.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Note appends a footnote line printed under the table.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000 || (math.Abs(v) < 0.001 && v != 0):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	for i, h := range t.headers {
+		width[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if n := len([]rune(c)); n > width[i] {
+				width[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			pad := width[i] - len([]rune(c))
+			b.WriteString(c)
+			if i < ncol-1 {
+				b.WriteString(strings.Repeat(" ", pad+2))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns a rendered cell (row, col), empty when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// Counters is an ordered string→int64 counter map.
+type Counters struct {
+	m map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Inc adds delta to the named counter.
+func (c *Counters) Inc(name string, delta int64) { c.m[name] += delta }
+
+// Get returns a counter's value.
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns the counter names sorted.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "name=value" lines.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", n, c.m[n])
+	}
+	return b.String()
+}

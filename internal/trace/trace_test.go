@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Stddev()-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", s.Stddev())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Stddev() != 0 || s.N() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E1", "mechanism", "size", "latency")
+	tb.Row("CRAK", 64, 1.5)
+	tb.Row("libckpt", 64, 3.25)
+	tb.Note("sizes in MiB")
+	out := tb.String()
+	for _, want := range []string{"E1", "mechanism", "CRAK", "3.250", "sizes in MiB", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if tb.Cell(0, 0) != "CRAK" || tb.Cell(5, 5) != "" {
+		t.Fatal("Cell accessor wrong")
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Row("xxxxxxxx", 1)
+	tb.Row("y", 2)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// Column b must start at the same offset in both data rows.
+	r1, r2 := lines[2], lines[3]
+	if strings.Index(r1, "1") != strings.Index(r2, "2") {
+		t.Fatalf("columns misaligned:\n%s", tb)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		3.5:      "3.500",
+		12345.6:  "1.23e+04",
+		0.000012: "1.2e-05",
+		0:        "0",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("b", 2)
+	c.Inc("a", 1)
+	c.Inc("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("z") != 0 {
+		t.Fatal("counter values")
+	}
+	if names := c.Names(); len(names) != 2 || names[0] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+	if !strings.Contains(c.String(), "b=5") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+// Property: Series.Mean is always within [Min, Max].
+func TestQuickSeriesBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Series
+		any := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue // avoid float64 overflow in the running sums
+			}
+			s.Add(v)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package workload
+
+import "repro/internal/simos/kernel"
+
+// Suite returns the named application profiles used throughout the
+// experiments, modeled after the scientific codes of Sancho et al. [31]
+// (the paper's own feasibility study): each is one of this package's
+// synthetic kernels with parameters chosen to match the published
+// write-footprint character of the real code.
+//
+//   - SAGE (hydro, adaptive mesh): large footprint, high write density —
+//     incremental checkpointing saves little.
+//   - Sweep3D (Sn transport): sweeping writes over half the working set
+//     per iteration with strong locality.
+//   - SP (NAS scalar penta-diagonal): moderate, scattered writes.
+//   - FFT-class: phased — dense transform phases alternate with quiet
+//     ones.
+//   - N-body-class: large read-mostly structure, tiny deltas — the best
+//     case for incremental checkpointing.
+func Suite(mib int) []kernel.Program {
+	if mib <= 0 {
+		mib = 16
+	}
+	return []kernel.Program{
+		SAGE(mib), Sweep3D(mib), SP(mib), FFTClass(mib), NBodyClass(mib),
+	}
+}
+
+// SAGE models the adaptive-mesh hydro code's near-total per-iteration
+// write footprint.
+func SAGE(mib int) Dense { return Dense{MiB: mib} }
+
+// Sweep3D models the Sn-transport sweep: half the arena rewritten per
+// iteration with sequential locality.
+func Sweep3D(mib int) Stencil { return Stencil{MiB: mib} }
+
+// SP models the NAS SP-class solver: roughly a tenth of the pages
+// rewritten per iteration, scattered.
+func SP(mib int) Sparse { return Sparse{MiB: mib, WriteFrac: 0.1, Seed: 0x5B} }
+
+// FFTClass models transform codes: bursts of dense writes separated by
+// quiet phases.
+func FFTClass(mib int) Phased { return Phased{MiB: mib, Seed: 0xFF7, PhaseIters: 2} }
+
+// NBodyClass models tree-walk codes: wide reads, rare small writes.
+func NBodyClass(mib int) PointerChase {
+	return PointerChase{MiB: mib, WriteEvery: 128, Seed: 0xB0D7}
+}

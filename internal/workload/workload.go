@@ -1,0 +1,399 @@
+// Package workload provides the simulated applications the experiments
+// checkpoint: synthetic programs spanning the write-density and locality
+// space that determines incremental-checkpointing effectiveness (the paper
+// cites [31]: "the reduction in the size of the checkpoint data depends
+// strongly on the application").
+//
+// Every workload obeys the kernel.Program contract: the Program value is
+// stateless and all mutable state lives in simulated registers and memory.
+// Pseudo-random access patterns are derived by hashing (seed, counter), so
+// a restarted process replays exactly the same accesses — this is what
+// makes restart-equivalence testable.
+//
+// Register conventions (proc.Regs.G):
+//
+//	PC   iteration counter
+//	G[1] iteration limit (0 = run forever)
+//	G[3] running result checksum (the workload's observable output)
+//	G[4] phase / program-specific scratch
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/simos/kernel"
+	"repro/internal/simos/mem"
+	"repro/internal/simos/proc"
+)
+
+// ArenaBase is where every workload maps its working set.
+const ArenaBase = mem.Addr(0x1000_0000)
+
+// ArenaName is the VMA name of the working set.
+const ArenaName = "arena"
+
+// Fingerprint returns the workload's observable result: the running
+// checksum register. Two executions are equivalent iff their fingerprints
+// (and exit codes) match.
+func Fingerprint(p *proc.Process) uint64 { return p.Regs().G[3] }
+
+// SetIterations overrides the iteration limit of a freshly spawned
+// workload process.
+func SetIterations(p *proc.Process, n uint64) { p.Regs().G[1] = n }
+
+// splitmix64 is the stateless PRNG used to derive access patterns from
+// (seed, counter) without any hidden mutable state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mixChecksum folds v into the running checksum register.
+func mixChecksum(r *proc.Regs, v uint64) { r.G[3] = splitmix64(r.G[3] ^ v) }
+
+// mapArena maps the working set and returns it.
+func mapArena(ctx *kernel.Context, bytes uint64) error {
+	if bytes == 0 || bytes%mem.PageSize != 0 {
+		return fmt.Errorf("workload: arena size %d not page-aligned", bytes)
+	}
+	_, err := ctx.P.AS.Map(ArenaBase, bytes, mem.ProtRW, mem.KindAnon, ArenaName)
+	return err
+}
+
+// pageBuf fills a page-sized buffer with content derived from tag, so
+// that pages written in different iterations differ.
+func pageBuf(buf []byte, tag uint64) {
+	v := splitmix64(tag)
+	for i := 0; i < len(buf); i += 8 {
+		v = splitmix64(v)
+		for j := 0; j < 8 && i+j < len(buf); j++ {
+			buf[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// cyclesPerPage is the simulated compute cost per page processed,
+// approximating a memory-bound scientific kernel (~2.5 GB/s touch rate on
+// the 2005 reference CPU).
+const cyclesPerPage = 3000
+
+// Dense sweeps the whole arena every iteration, writing every page: the
+// worst case for incremental checkpointing (delta ≈ full size).
+type Dense struct {
+	MiB          int    // working-set size
+	Iterations   uint64 // default iteration limit (0 = forever)
+	PagesPerStep int    // pages processed per Step (default 64)
+}
+
+// Name implements kernel.Program.
+func (d Dense) Name() string { return fmt.Sprintf("dense[mib=%d]", d.MiB) }
+
+func (d Dense) pagesPerStep() int {
+	if d.PagesPerStep <= 0 {
+		return 64
+	}
+	return d.PagesPerStep
+}
+
+// Init implements kernel.Program.
+func (d Dense) Init(ctx *kernel.Context) error {
+	ctx.Regs().G[1] = d.Iterations
+	return mapArena(ctx, uint64(d.MiB)<<20)
+}
+
+// Step implements kernel.Program. G[4] holds the sweep position (page
+// index); PC counts completed sweeps.
+func (d Dense) Step(ctx *kernel.Context) (kernel.Status, error) {
+	r := ctx.Regs()
+	if r.G[1] != 0 && r.PC >= r.G[1] {
+		ctx.Exit(0)
+		return kernel.StatusExited, nil
+	}
+	totalPages := uint64(d.MiB) << 20 >> mem.PageShift
+	var buf [mem.PageSize]byte
+	n := d.pagesPerStep()
+	for i := 0; i < n; i++ {
+		pg := r.G[4]
+		pageBuf(buf[:], r.PC<<32|pg)
+		if err := ctx.Store(ArenaBase+mem.Addr(pg<<mem.PageShift), buf[:]); err != nil {
+			return kernel.StatusExited, err
+		}
+		ctx.Compute(cyclesPerPage)
+		mixChecksum(r, r.PC<<32|pg)
+		r.G[4]++
+		if r.G[4] >= totalPages {
+			r.G[4] = 0
+			r.PC++
+			break
+		}
+	}
+	return kernel.StatusRunning, nil
+}
+
+// Sparse writes a pseudo-random fraction of the arena's pages per
+// iteration: the regime where incremental checkpointing wins.
+type Sparse struct {
+	MiB          int
+	WriteFrac    float64 // fraction of pages written per iteration (0..1]
+	Seed         uint64
+	Iterations   uint64
+	PagesPerStep int
+}
+
+// Name implements kernel.Program.
+func (s Sparse) Name() string {
+	return fmt.Sprintf("sparse[mib=%d,frac=%.3f,seed=%d]", s.MiB, s.WriteFrac, s.Seed)
+}
+
+func (s Sparse) pagesPerStep() int {
+	if s.PagesPerStep <= 0 {
+		return 64
+	}
+	return s.PagesPerStep
+}
+
+// Init implements kernel.Program.
+func (s Sparse) Init(ctx *kernel.Context) error {
+	if s.WriteFrac <= 0 || s.WriteFrac > 1 {
+		return fmt.Errorf("workload: WriteFrac %v out of (0,1]", s.WriteFrac)
+	}
+	ctx.Regs().G[1] = s.Iterations
+	return mapArena(ctx, uint64(s.MiB)<<20)
+}
+
+// Step implements kernel.Program. G[4] counts writes within the current
+// iteration; target pages derive from splitmix64(seed, PC, G[4]).
+func (s Sparse) Step(ctx *kernel.Context) (kernel.Status, error) {
+	r := ctx.Regs()
+	if r.G[1] != 0 && r.PC >= r.G[1] {
+		ctx.Exit(0)
+		return kernel.StatusExited, nil
+	}
+	totalPages := uint64(s.MiB) << 20 >> mem.PageShift
+	writesPerIter := uint64(float64(totalPages) * s.WriteFrac)
+	if writesPerIter == 0 {
+		writesPerIter = 1
+	}
+	var buf [mem.PageSize]byte
+	for i := 0; i < s.pagesPerStep(); i++ {
+		if r.G[4] >= writesPerIter {
+			r.G[4] = 0
+			r.PC++
+			return kernel.StatusRunning, nil
+		}
+		pg := splitmix64(s.Seed^r.PC<<20^r.G[4]) % totalPages
+		pageBuf(buf[:], r.PC<<32|pg)
+		if err := ctx.Store(ArenaBase+mem.Addr(pg<<mem.PageShift), buf[:]); err != nil {
+			return kernel.StatusExited, err
+		}
+		ctx.Compute(cyclesPerPage)
+		mixChecksum(r, pg)
+		r.G[4]++
+	}
+	return kernel.StatusRunning, nil
+}
+
+// Stencil models a 2-D Jacobi iteration: two grids, reads one, writes the
+// other, alternating — per-iteration delta is exactly half the arena, with
+// strong spatial locality. This approximates the SAGE/Sweep3D-class codes
+// of [31].
+type Stencil struct {
+	MiB          int // total arena (two grids of MiB/2 each)
+	Iterations   uint64
+	PagesPerStep int
+}
+
+// Name implements kernel.Program.
+func (s Stencil) Name() string { return fmt.Sprintf("stencil[mib=%d]", s.MiB) }
+
+func (s Stencil) pagesPerStep() int {
+	if s.PagesPerStep <= 0 {
+		return 64
+	}
+	return s.PagesPerStep
+}
+
+// Init implements kernel.Program.
+func (s Stencil) Init(ctx *kernel.Context) error {
+	ctx.Regs().G[1] = s.Iterations
+	return mapArena(ctx, uint64(s.MiB)<<20)
+}
+
+// Step implements kernel.Program. Even PC writes grid B (second half)
+// reading grid A; odd PC writes grid A. G[4] is the page cursor within
+// the destination grid.
+func (s Stencil) Step(ctx *kernel.Context) (kernel.Status, error) {
+	r := ctx.Regs()
+	if r.G[1] != 0 && r.PC >= r.G[1] {
+		ctx.Exit(0)
+		return kernel.StatusExited, nil
+	}
+	gridPages := (uint64(s.MiB) << 20 >> mem.PageShift) / 2
+	if gridPages == 0 {
+		gridPages = 1
+	}
+	srcBase, dstBase := ArenaBase, ArenaBase+mem.Addr(gridPages<<mem.PageShift)
+	if r.PC%2 == 1 {
+		srcBase, dstBase = dstBase, srcBase
+	}
+	var in, out [mem.PageSize]byte
+	for i := 0; i < s.pagesPerStep(); i++ {
+		pg := r.G[4]
+		if err := ctx.Load(srcBase+mem.Addr(pg<<mem.PageShift), in[:]); err != nil {
+			return kernel.StatusExited, err
+		}
+		// "Relax": derive output from input plus iteration tag.
+		for j := 0; j < mem.PageSize; j += 8 {
+			out[j] = in[j] + byte(r.PC)
+		}
+		if err := ctx.Store(dstBase+mem.Addr(pg<<mem.PageShift), out[:]); err != nil {
+			return kernel.StatusExited, err
+		}
+		ctx.Compute(2 * cyclesPerPage)
+		mixChecksum(r, uint64(out[0])<<32|pg)
+		r.G[4]++
+		if r.G[4] >= gridPages {
+			r.G[4] = 0
+			r.PC++
+			break
+		}
+	}
+	return kernel.StatusRunning, nil
+}
+
+// PointerChase reads pseudo-randomly across the arena and writes rarely:
+// the best case for incremental checkpointing (tiny deltas), with poor
+// locality for hardware line-logging.
+type PointerChase struct {
+	MiB          int
+	WriteEvery   uint64 // one write per this many reads (default 64)
+	Seed         uint64
+	Iterations   uint64
+	ReadsPerStep int
+}
+
+// Name implements kernel.Program.
+func (p PointerChase) Name() string {
+	return fmt.Sprintf("chase[mib=%d,we=%d,seed=%d]", p.MiB, p.writeEvery(), p.Seed)
+}
+
+func (p PointerChase) writeEvery() uint64 {
+	if p.WriteEvery == 0 {
+		return 64
+	}
+	return p.WriteEvery
+}
+
+func (p PointerChase) readsPerStep() int {
+	if p.ReadsPerStep <= 0 {
+		return 256
+	}
+	return p.ReadsPerStep
+}
+
+// Init implements kernel.Program.
+func (p PointerChase) Init(ctx *kernel.Context) error {
+	ctx.Regs().G[1] = p.Iterations
+	return mapArena(ctx, uint64(p.MiB)<<20)
+}
+
+// Step implements kernel.Program; one iteration = one read (plus an
+// occasional write), so limits here are counts of accesses.
+func (p PointerChase) Step(ctx *kernel.Context) (kernel.Status, error) {
+	r := ctx.Regs()
+	size := uint64(p.MiB) << 20
+	for i := 0; i < p.readsPerStep(); i++ {
+		if r.G[1] != 0 && r.PC >= r.G[1] {
+			ctx.Exit(0)
+			return kernel.StatusExited, nil
+		}
+		addr := ArenaBase + mem.Addr(splitmix64(p.Seed^r.PC)%(size-8))
+		v, err := ctx.Load8(addr)
+		if err != nil {
+			return kernel.StatusExited, err
+		}
+		mixChecksum(r, v^r.PC)
+		if r.PC%p.writeEvery() == 0 {
+			if err := ctx.Store8(addr, r.G[3]); err != nil {
+				return kernel.StatusExited, err
+			}
+		}
+		ctx.Compute(400)
+		r.PC++
+	}
+	return kernel.StatusRunning, nil
+}
+
+// Phased alternates between a dense write phase and a read-mostly phase,
+// exercising adaptive-interval and adaptive-block-size policies with
+// time-varying deltas.
+type Phased struct {
+	MiB          int
+	PhaseIters   uint64 // iterations per phase (default 4)
+	Seed         uint64
+	Iterations   uint64
+	PagesPerStep int
+}
+
+// Name implements kernel.Program.
+func (p Phased) Name() string { return fmt.Sprintf("phased[mib=%d,seed=%d]", p.MiB, p.Seed) }
+
+func (p Phased) phaseIters() uint64 {
+	if p.PhaseIters == 0 {
+		return 4
+	}
+	return p.PhaseIters
+}
+
+// Init implements kernel.Program.
+func (p Phased) Init(ctx *kernel.Context) error {
+	ctx.Regs().G[1] = p.Iterations
+	return mapArena(ctx, uint64(p.MiB)<<20)
+}
+
+// Step implements kernel.Program by delegating to Dense- or Sparse-like
+// behaviour depending on the phase.
+func (p Phased) Step(ctx *kernel.Context) (kernel.Status, error) {
+	r := ctx.Regs()
+	if r.G[1] != 0 && r.PC >= r.G[1] {
+		ctx.Exit(0)
+		return kernel.StatusExited, nil
+	}
+	phase := (r.PC / p.phaseIters()) % 2
+	totalPages := uint64(p.MiB) << 20 >> mem.PageShift
+	var buf [mem.PageSize]byte
+	n := p.PagesPerStep
+	if n <= 0 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		var pg uint64
+		if phase == 0 { // dense phase: sequential full sweep
+			pg = r.G[4]
+		} else { // quiet phase: touch 1/32 of pages
+			pg = splitmix64(p.Seed^r.PC<<20^r.G[4]) % totalPages
+		}
+		pageBuf(buf[:], r.PC<<32|pg)
+		if err := ctx.Store(ArenaBase+mem.Addr(pg<<mem.PageShift), buf[:]); err != nil {
+			return kernel.StatusExited, err
+		}
+		ctx.Compute(cyclesPerPage)
+		mixChecksum(r, pg^phase)
+		r.G[4]++
+		limit := totalPages
+		if phase == 1 {
+			limit = totalPages / 32
+			if limit == 0 {
+				limit = 1
+			}
+		}
+		if r.G[4] >= limit {
+			r.G[4] = 0
+			r.PC++
+			break
+		}
+	}
+	return kernel.StatusRunning, nil
+}

@@ -1,0 +1,155 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestQuickstartFlow exercises the doc.go quick-start path end to end.
+func TestQuickstartFlow(t *testing.T) {
+	reg := repro.NewRegistry()
+	app := repro.Dense{MiB: 4}
+	reg.MustRegister(app)
+	k := repro.NewMachine("node0", reg)
+
+	m := repro.NewCRAK()
+	if err := m.Install(k); err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(app.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repro.SetIterations(p, 8)
+	disk := repro.NewLocalDisk("disk0")
+	for p.Regs().PC < 4 {
+		k.RunFor(repro.Millisecond)
+	}
+	tk, err := repro.Checkpoint(m, k, p, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Exit(p, 137)
+	k.Procs.Remove(p.PID)
+	chain, err := repro.LoadChain(disk, tk.Img.ObjectName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Restart(k, chain, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.RunUntilExit(p2, k.Now().Add(repro.Minute)) {
+		t.Fatal("restarted process stuck")
+	}
+	if repro.Fingerprint(p2) == 0 {
+		t.Fatal("no result")
+	}
+}
+
+func TestTable1ExactReproduction(t *testing.T) {
+	if diffs := repro.Table1Diff(); len(diffs) != 0 {
+		t.Fatalf("Table 1 mismatches:\n%s", strings.Join(diffs, "\n"))
+	}
+	out := repro.Table1()
+	for _, name := range []string{"VMADump", "BPROC", "EPCKPT", "CRAK", "UCLiK", "CHPOX", "ZAP", "BLCR", "LAM/MPI", "PsncR/C", "Software Suspend", "Checkpoint"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFigure1Rendering(t *testing.T) {
+	fig := repro.Figure1()
+	for _, want := range []string{"user-level", "system-level", "hardware", "kernel thread"} {
+		if !strings.Contains(fig, want) {
+			t.Fatalf("Figure 1 missing %q:\n%s", want, fig)
+		}
+	}
+}
+
+func TestIntervalFormulas(t *testing.T) {
+	y := repro.YoungInterval(30*repro.Second, 12*repro.Hour)
+	if y <= 0 {
+		t.Fatal("Young interval")
+	}
+	if d := repro.DalyInterval(30*repro.Second, 12*repro.Hour); d <= 0 {
+		t.Fatal("Daly interval")
+	}
+}
+
+func TestSuiteFacade(t *testing.T) {
+	progs := repro.Suite(2)
+	if len(progs) != 5 {
+		t.Fatalf("suite size %d", len(progs))
+	}
+	reg := repro.NewRegistry()
+	for _, p := range progs {
+		reg.MustRegister(p)
+	}
+	k := repro.NewMachine("suite", reg)
+	for _, prog := range progs {
+		p, err := k.Spawn(prog.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		repro.SetIterations(p, 3)
+		if !k.RunUntilExit(p, k.Now().Add(repro.Minute)) {
+			t.Fatalf("%s stuck", prog.Name())
+		}
+	}
+}
+
+func TestCoalesceFacade(t *testing.T) {
+	app := repro.Sparse{MiB: 1, WriteFrac: 0.2, Seed: 5}
+	reg := repro.NewRegistry()
+	reg.MustRegister(app)
+	k := repro.NewMachine("n", reg)
+	tick := repro.NewTICK()
+	if err := tick.Install(k); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.Spawn(app.Name())
+	repro.SetIterations(p, 1<<30)
+	disk := repro.NewLocalDisk("d")
+	var leaf string
+	for i := 0; i < 3; i++ {
+		k.RunFor(2 * repro.Millisecond)
+		tk, err := repro.Checkpoint(tick, k, p, disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaf = tk.Img.ObjectName()
+	}
+	chain, err := repro.LoadChain(disk, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.VerifyChain(chain); err != nil {
+		t.Fatal(err)
+	}
+	single, err := repro.Coalesce(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Mode.String() != "full" {
+		t.Fatalf("coalesced mode %v", single.Mode)
+	}
+}
+
+func TestParallelJobFacade(t *testing.T) {
+	c := repro.NewCluster(2, 3, repro.NewRegistry())
+	j := repro.NewParallelJob(c, 2)
+	if err := j.Launch(repro.HaloRing{MiB: 1, Iterations: 6, PagesPerIter: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !j.RunUntilDone(repro.Minute) {
+		t.Fatal("job stuck")
+	}
+	fps, err := j.Fingerprints()
+	if err != nil || len(fps) != 2 || fps[0] == 0 {
+		t.Fatalf("fingerprints %v %v", fps, err)
+	}
+}
