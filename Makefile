@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the pre-PR gate: it runs the
+# tier-1 build/test pass plus vet and the race detector (the cluster and
+# storage layers are concurrency-sensitive; -race is what catches a bad
+# interleaving before a reviewer does).
+
+GO ?= go
+
+.PHONY: all build test bench check vet race
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race

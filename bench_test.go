@@ -1,5 +1,5 @@
 // Benchmarks regenerating every artifact of the paper: F1 (Figure 1),
-// T1 (Table 1), and the derived experiments E1–E10 of DESIGN.md §3.
+// T1 (Table 1), and the derived experiments E1–E11 of DESIGN.md §3.
 // Each benchmark runs the corresponding generator; simulated-time results
 // are attached as custom metrics (ns of *simulated* time are reported as
 // "sim-ms/op" style metrics where meaningful). Run:
@@ -109,6 +109,14 @@ func BenchmarkE9Matrix(b *testing.B) {
 func BenchmarkE10Extras(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if experiments.E10Extras().NumRows() < 6 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkE11StorageFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.E11StorageFaults(0.10).NumRows() != 2 {
 			b.Fatal("missing rows")
 		}
 	}

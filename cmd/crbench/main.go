@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E10 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E11 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -30,8 +30,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 10 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..10)\n", part)
+			if err != nil || n < 1 || n > 11 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..11)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -66,6 +66,7 @@ func main() {
 		{8, func() *trace.Table { return experiments.E8MPI(ranks, 4) }},
 		{9, func() *trace.Table { return experiments.E9Matrix() }},
 		{10, func() *trace.Table { return experiments.E10Extras() }},
+		{11, func() *trace.Table { return experiments.E11StorageFaults(0.10) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

@@ -1,0 +1,29 @@
+package checkpoint
+
+import "repro/internal/storage"
+
+// Audit scans a storage target and classifies every object: committed
+// images that decode cleanly, committed images that are torn (truncated
+// or corrupt — the debris a non-atomic commit leaves after a mid-write
+// crash or silent tail loss), and staging objects (in-flight or crashed
+// writes that were never published; restore never reads them, so they are
+// harmless). The target must be available.
+func Audit(t storage.Target) (intact, torn, staging int) {
+	for _, name := range t.List() {
+		if storage.IsStaging(name) {
+			staging++
+			continue
+		}
+		data, err := t.ReadObject(name, nil)
+		if err != nil {
+			torn++
+			continue
+		}
+		if _, err := Decode(data); err != nil {
+			torn++
+		} else {
+			intact++
+		}
+	}
+	return intact, torn, staging
+}

@@ -152,15 +152,16 @@ func Capture(req Request) (*Image, Stats, error) {
 		}
 		// Encoding cost ≈ one memcpy of the image.
 		env.Bill.Charge(reqCMCopy(req, len(encoded)), "encode")
-		w, err := req.Target.Create(img.ObjectName(), env)
+		// Atomic commit by default: stage, sync, publish — a crash
+		// mid-write can only tear the staging object, never a committed
+		// image. storage.Unsafe-wrapped targets take the legacy in-place
+		// path (the torn-image contrast for experiments).
+		if storage.IsUnsafe(req.Target) {
+			err = storage.Put(req.Target, img.ObjectName(), encoded, env)
+		} else {
+			err = storage.PutAtomic(req.Target, img.ObjectName(), encoded, env)
+		}
 		if err != nil {
-			return nil, Stats{}, err
-		}
-		if _, err := w.Write(encoded); err != nil {
-			w.Abort()
-			return nil, Stats{}, err
-		}
-		if err := w.Commit(); err != nil {
 			return nil, Stats{}, err
 		}
 		st.EncodedBytes = len(encoded)

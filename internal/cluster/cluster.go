@@ -68,6 +68,10 @@ type Cluster struct {
 	handlers []func(payload any)
 
 	injector *Injector
+
+	faults       *storage.FaultPolicy
+	serverRepair simtime.Duration
+	serverBackAt simtime.Time
 }
 
 // Config tunes a cluster.
@@ -125,6 +129,44 @@ func (c *Cluster) Rand() *rand.Rand { return c.rng }
 // SetInjector installs a failure injector.
 func (c *Cluster) SetInjector(inj *Injector) { c.injector = inj }
 
+// StorageFaultConfig tunes per-operation storage fault injection for a
+// cluster (see storage.FaultPolicy for the field semantics).
+type StorageFaultConfig struct {
+	WriteFault   float64
+	OutageFrac   float64
+	SilentTear   float64
+	PublishFault float64
+	// ServerRepair is how long a mid-transfer server outage lasts before
+	// the cluster brings the server back (default 5ms of simulated time).
+	ServerRepair simtime.Duration
+}
+
+// EnableStorageFaults installs one fault policy, seeded from the cluster
+// RNG for determinism, on the checkpoint server and every node's local
+// disk. Server outages injected mid-transfer heal automatically after
+// cfg.ServerRepair of cluster time. The returned policy exposes the
+// injection counts.
+func (c *Cluster) EnableStorageFaults(cfg StorageFaultConfig) *storage.FaultPolicy {
+	if cfg.ServerRepair <= 0 {
+		cfg.ServerRepair = 5 * simtime.Millisecond
+	}
+	fp := &storage.FaultPolicy{
+		WriteFault:   cfg.WriteFault,
+		OutageFrac:   cfg.OutageFrac,
+		SilentTear:   cfg.SilentTear,
+		PublishFault: cfg.PublishFault,
+		Rng:          rand.New(rand.NewSource(c.rng.Int63())),
+	}
+	c.serverRepair = cfg.ServerRepair
+	fp.OnOutage = func() { c.serverBackAt = c.now.Add(c.serverRepair) }
+	c.Server.SetFaults(fp)
+	for _, n := range c.nodes {
+		n.Disk.SetFaults(fp)
+	}
+	c.faults = fp
+	return fp
+}
+
 // OnDeliver registers the cross-node message handler for node i
 // (package mpi installs its mailbox here).
 func (c *Cluster) OnDeliver(i int, fn func(payload any)) { c.handlers[i] = fn }
@@ -181,6 +223,10 @@ func (c *Cluster) Step() {
 	c.mail = rest
 	if c.injector != nil {
 		c.injector.apply(c)
+	}
+	if c.serverBackAt != 0 && c.now >= c.serverBackAt {
+		c.Server.Recover()
+		c.serverBackAt = 0
 	}
 }
 

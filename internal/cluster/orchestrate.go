@@ -10,6 +10,7 @@ import (
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // MechPool caches one mechanism instance per node (mechanisms bind to a
@@ -64,17 +65,26 @@ func Migrate(c *Cluster, pool *MechPool, from, to int, pid proc.PID) (*proc.Proc
 		return nil, err
 	}
 	c.RunFor(c.CM.NetTransfer(len(data)))
-	src.K.Exit(p, 0)
-	src.K.Procs.Remove(p.PID)
 
+	// Restart on the destination first and only then kill the source:
+	// if the restart fails the original keeps running (it has merely
+	// rolled on past the captured state). The pre-fix order exited the
+	// source before attempting the restart, so a restart failure lost
+	// the process entirely.
 	md, err := pool.For(to)
 	if err != nil {
 		return nil, err
 	}
 	p2, err := md.Restart(dst.K, []*checkpoint.Image{tk.Img}, true)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: migrate restart: %w", err)
+		return nil, fmt.Errorf("cluster: migrate restart (source %s/%d kept running): %w", src.Name, pid, err)
 	}
+	// No simulated time passes between the restart and the kill, so the
+	// two copies never run concurrently.
+	if p.State != proc.StateZombie {
+		src.K.Exit(p, 0)
+	}
+	src.K.Procs.Remove(p.PID)
 	return p2, nil
 }
 
@@ -122,10 +132,23 @@ func (g *Gang) mech(node int) (mechanism.Mechanism, error) {
 // Preempt checkpoints every member and kills it, freeing the nodes for
 // another job. Checkpoints go to each node's local disk via the
 // mechanism's native path.
+//
+// Preemption is two-phase: every member is captured first and nothing is
+// killed until all images are in hand. A capture failure therefore leaves
+// the whole gang running and the Gang unfrozen — the caller can retry.
+// (The pre-fix single loop killed members as it went, so a mid-loop error
+// left the gang half-dead with frozen still false: earlier members were
+// gone but could not be resumed.)
 func (g *Gang) Preempt() error {
 	if g.frozen {
 		return errors.New("cluster: gang already preempted")
 	}
+	type captured struct {
+		img *checkpoint.Image
+		n   *Node
+		p   *proc.Process
+	}
+	caps := make([]captured, len(g.Members))
 	for i, mb := range g.Members {
 		n := g.C.Node(mb.Node)
 		m, err := g.mech(mb.Node)
@@ -138,11 +161,14 @@ func (g *Gang) Preempt() error {
 		}
 		tk, err := mechanism.Checkpoint(m, n.K, p, nil, nil)
 		if err != nil {
-			return fmt.Errorf("cluster: gang preempt member %d: %w", i, err)
+			return fmt.Errorf("cluster: gang preempt member %d (gang left running): %w", i, err)
 		}
-		g.images[i] = tk.Img
-		n.K.Exit(p, 0)
-		n.K.Procs.Remove(p.PID)
+		caps[i] = captured{tk.Img, n, p}
+	}
+	for i, c := range caps {
+		g.images[i] = c.img
+		c.n.K.Exit(c.p, 0)
+		c.n.K.Procs.Remove(c.p.PID)
 	}
 	g.frozen = true
 	return nil
@@ -194,11 +220,29 @@ type Supervisor struct {
 	// Estimator drives adaptive intervals and records failures.
 	Estimator *MTBFEstimator
 
+	// MaxRetries bounds per-round checkpoint retries against the primary
+	// target (0 means the default of 3; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubled per attempt (default
+	// 1ms of simulated time).
+	RetryBackoff simtime.Duration
+	// LocalFallback writes the round's checkpoint to the node-local disk
+	// when every retry against the remote server fails — degraded
+	// protection (the image dies with the node) beats none.
+	LocalFallback bool
+	// UnsafeCommit disables atomic image commit (legacy in-place writes)
+	// — the torn-image contrast for experiments and tests.
+	UnsafeCommit bool
+	// Counters receives ckpt.* orchestration counters (created by Run
+	// when nil).
+	Counters *trace.Counters
+
 	node        int
 	pid         proc.PID
-	mechAt      map[int]mechanism.Mechanism
+	mechAt      map[int]nodeMech
 	lastLeaf    string
 	lastNode    int
+	lastLocal   bool // last good image is on lastNode's local disk
 	lastCkptDur simtime.Duration
 
 	// Results
@@ -215,7 +259,10 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 	if s.Estimator == nil {
 		s.Estimator = NewMTBFEstimator(simtime.Hour)
 	}
-	s.mechAt = make(map[int]mechanism.Mechanism)
+	if s.Counters == nil {
+		s.Counters = trace.NewCounters()
+	}
+	s.mechAt = make(map[int]nodeMech)
 	start := s.C.Now()
 	if err := s.start(0); err != nil {
 		return err
@@ -281,15 +328,24 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 	return nil
 }
 
+// nodeMech remembers which kernel a cached mechanism was installed on: a
+// reboot replaces the node's kernel, and a mechanism bound to the dead
+// kernel fails every request from then on.
+type nodeMech struct {
+	k *kernel.Kernel
+	m mechanism.Mechanism
+}
+
 func (s *Supervisor) mech(node int) (mechanism.Mechanism, error) {
-	if m, ok := s.mechAt[node]; ok {
-		return m, nil
+	n := s.C.Node(node)
+	if nm, ok := s.mechAt[node]; ok && nm.k == n.K {
+		return nm.m, nil
 	}
 	m := s.MkMech()
-	if err := m.Install(s.C.Node(node).K); err != nil {
+	if err := m.Install(n.K); err != nil {
 		return nil, err
 	}
-	s.mechAt[node] = m
+	s.mechAt[node] = nodeMech{n.K, m}
 	return m, nil
 }
 
@@ -325,21 +381,80 @@ func (s *Supervisor) start(node int) error {
 	return nil
 }
 
-func (s *Supervisor) checkpoint(p *proc.Process) error {
+// commitTarget applies the UnsafeCommit contrast switch.
+func (s *Supervisor) commitTarget(t storage.Target) storage.Target {
+	if s.UnsafeCommit {
+		return storage.Unsafe(t)
+	}
+	return t
+}
+
+// attempt runs one checkpoint against tgt and records the result.
+func (s *Supervisor) attempt(p *proc.Process, tgt storage.Target, local bool) error {
 	m, err := s.mech(s.node)
 	if err != nil {
 		return err
 	}
-	tgt := s.target(s.node)
-	tk, err := mechanism.Checkpoint(m, s.C.Node(s.node).K, p, tgt, nil)
+	tk, err := mechanism.Checkpoint(m, s.C.Node(s.node).K, p, s.commitTarget(tgt), nil)
 	if err != nil {
 		return err
 	}
 	s.Checkpoints++
 	s.lastLeaf = tk.Img.ObjectName()
 	s.lastNode = s.node
+	s.lastLocal = local
 	s.lastCkptDur = tk.Total()
 	return nil
+}
+
+// checkpoint takes the round's checkpoint with retry-with-backoff against
+// the primary target, then (optionally) one fallback attempt against the
+// node-local disk. Injected storage faults thus cost retries and degraded
+// placement, not lost rounds.
+func (s *Supervisor) checkpoint(p *proc.Process) error {
+	retries := s.MaxRetries
+	if retries == 0 {
+		retries = 3
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := s.RetryBackoff
+	if backoff <= 0 {
+		backoff = simtime.Millisecond
+	}
+	local := s.UseLocalDisk
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = s.attempt(p, s.target(s.node), local)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= retries {
+			break
+		}
+		s.Counters.Inc("ckpt.retried", 1)
+		// Back off in simulated time (doubling), then revalidate: the node
+		// or the process may have died while we waited, in which case the
+		// main loop — not this retry loop — must handle it.
+		s.C.RunFor(backoff << uint(attempt))
+		if !s.C.Node(s.node).Alive() {
+			return lastErr
+		}
+		q, err := s.C.Node(s.node).K.Procs.Lookup(s.pid)
+		if err != nil || q.State == proc.StateZombie {
+			return lastErr
+		}
+		p = q
+	}
+	if s.LocalFallback && !local && s.C.Node(s.node).Alive() {
+		if err := s.attempt(p, s.C.Node(s.node).Disk, true); err == nil {
+			s.Counters.Inc("ckpt.fellback", 1)
+			return nil
+		}
+	}
+	s.Counters.Inc("ckpt.failed", 1)
+	return lastErr
 }
 
 // recover restarts the job on a spare node from the best reachable
@@ -352,14 +467,23 @@ func (s *Supervisor) recover() error {
 	var chain []*checkpoint.Image
 	if s.lastLeaf != "" {
 		var src storage.Target
-		if s.UseLocalDisk {
+		if s.lastLocal {
 			src = s.C.Node(s.lastNode).Disk // unreachable if that node is down
 		} else {
 			src = s.C.Node(spare).Remote()
 		}
 		if src.Available() {
-			if ch, err := checkpoint.LoadChain(src, nil, s.lastLeaf); err == nil {
+			ch, err := checkpoint.LoadChain(src, nil, s.lastLeaf)
+			switch {
+			case err == nil:
 				chain = ch
+			case errors.Is(err, checkpoint.ErrCorrupt):
+				// A torn or silently truncated image reached restore — the
+				// exact failure atomic commit exists to prevent.
+				s.Counters.Inc("ckpt.torn", 1)
+			case errors.Is(err, storage.ErrNotFound):
+				// The committed image vanished (a lost in-place overwrite).
+				s.Counters.Inc("ckpt.lost", 1)
 			}
 		}
 	}

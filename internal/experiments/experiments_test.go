@@ -233,6 +233,27 @@ func TestE9MatrixShape(t *testing.T) {
 	}
 }
 
+func TestE11StorageFaultsContrast(t *testing.T) {
+	tb := E11StorageFaults(0.10)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	// Row 0 is atomic commit, row 1 the legacy in-place path. Both runs
+	// must complete, and only the unsafe one may show integrity damage.
+	for row := 0; row < 2; row++ {
+		if tb.Cell(row, 1) != "true" {
+			t.Fatalf("row %d did not complete:\n%s", row, tb)
+		}
+	}
+	atomicTorn := tb.Cell(0, 7) + tb.Cell(0, 8) + tb.Cell(0, 9)
+	if atomicTorn != "000" {
+		t.Fatalf("atomic commit produced torn/lost images:\n%s", tb)
+	}
+	if tb.Cell(1, 7) == "0" && tb.Cell(1, 8) == "0" && tb.Cell(1, 9) == "0" {
+		t.Fatalf("unsafe commit produced no torn/lost images — no contrast:\n%s", tb)
+	}
+}
+
 func TestE10Runs(t *testing.T) {
 	tb := E10Extras()
 	out := tb.String()

@@ -1,0 +1,115 @@
+// Atomic image commit: checkpoints are streamed to a staging name and
+// published to their final name only after the full payload — including
+// the CRC-64 trailer — is durably written. A crash mid-write can then
+// only tear the staging object; the previously committed image under the
+// final name survives the failed overwrite, and restore can never
+// observe a partial image. This is the commit protocol CRAFT-style
+// fault-tolerant C/R layers use, and the fix for the torn-image window
+// of a plain in-place write.
+
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// stagingSuffix marks in-flight objects. Final object names never carry
+// it, so a torn staging object can never be mistaken for an image.
+const stagingSuffix = ".staging"
+
+// StagingName returns the staging object name for a final object name.
+func StagingName(object string) string { return object + stagingSuffix }
+
+// IsStaging reports whether name is a staging object (an in-flight or
+// crashed write that was never published).
+func IsStaging(name string) bool { return strings.HasSuffix(name, stagingSuffix) }
+
+// tearable is implemented by targets whose non-durable commits can be
+// silently torn by their fault policy (the write chain reported success
+// but the tail never became durable).
+type tearable interface {
+	faultsOf() *FaultPolicy
+	tearObject(object string, keepFrac float64)
+}
+
+// unsafeTarget marks a target for legacy in-place commit (no staging, no
+// durability barrier). It exists so the contrast experiment can disable
+// atomic commit without threading a flag through every mechanism.
+type unsafeTarget struct{ Target }
+
+// Unsafe wraps t so captures write images in place under their final
+// name with no durability barrier — the pre-atomic-commit behaviour,
+// vulnerable to torn and silently truncated images. For experiments and
+// regression tests only.
+func Unsafe(t Target) Target {
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.(unsafeTarget); ok {
+		return t
+	}
+	return unsafeTarget{t}
+}
+
+// IsUnsafe reports whether t was wrapped by Unsafe.
+func IsUnsafe(t Target) bool {
+	_, ok := t.(unsafeTarget)
+	return ok
+}
+
+// Put writes data under object with legacy in-place semantics: the bytes
+// stream straight to the final name and the commit takes no durability
+// barrier. A mid-write crash leaves a torn object under the final name,
+// and the target's fault policy may silently truncate the object even
+// after a successful return. Prefer PutAtomic.
+func Put(t Target, object string, data []byte, env *Env) error {
+	if u, ok := t.(unsafeTarget); ok {
+		t = u.Target
+	}
+	w, err := t.Create(object, env)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort() // no-op after an injected crash: the torn object stays
+		return err
+	}
+	if err := w.Commit(); err != nil {
+		return err
+	}
+	// No durability barrier: the commit may have silently lost its tail.
+	if tt, ok := t.(tearable); ok {
+		if frac, tear := tt.faultsOf().tearCommit(); tear {
+			tt.tearObject(object, frac)
+		}
+	}
+	return nil
+}
+
+// PutAtomic writes data under a staging name and publishes it to object
+// only after the full payload, CRC trailer included, is durable. Any
+// failure — write crash, commit error, failed publish — leaves the
+// previously committed object untouched, so the operation is all-or-
+// nothing from a reader's point of view and safe to retry.
+func PutAtomic(t Target, object string, data []byte, env *Env) error {
+	if u, ok := t.(unsafeTarget); ok {
+		t = u.Target
+	}
+	staging := StagingName(object)
+	w, err := t.Create(staging, env)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort() // a crash tears only the staging object
+		return fmt.Errorf("stage %s: %w", object, err)
+	}
+	// Commit behind the durability barrier (the writer's sync), which is
+	// what makes the subsequent rename safe: silent tail loss cannot
+	// happen to a synced object.
+	if err := w.Commit(); err != nil {
+		return err
+	}
+	return t.Publish(staging, object, env)
+}

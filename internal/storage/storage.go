@@ -94,6 +94,12 @@ type Target interface {
 	Delete(object string) error
 	// ObjectSize returns the stored size of an object.
 	ObjectSize(object string) (int, error)
+	// Publish atomically renames a fully-written staging object to its
+	// final name, replacing any previous object under that name. The
+	// rename either happens completely or not at all (a failed Publish
+	// leaves both names as they were), which is what PutAtomic builds
+	// its all-or-nothing commit on.
+	Publish(staging, final string, env *Env) error
 }
 
 // chunk is the transfer granularity for cost accounting.
@@ -106,6 +112,31 @@ type objectStore struct {
 }
 
 func newObjectStore() *objectStore { return &objectStore{objects: make(map[string][]byte)} }
+
+func (s *objectStore) rename(old, new string) error {
+	data, ok := s.objects[old]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, old)
+	}
+	s.objects[new] = data
+	delete(s.objects, old)
+	return nil
+}
+
+// tear truncates a stored object to keepFrac of its bytes, deleting it
+// outright when nothing survives (the lost-image case).
+func (s *objectStore) tear(object string, keepFrac float64) {
+	data, ok := s.objects[object]
+	if !ok {
+		return
+	}
+	keep := int(keepFrac * float64(len(data)))
+	if keep <= 0 {
+		delete(s.objects, object)
+		return
+	}
+	s.objects[object] = data[:keep]
+}
 
 func (s *objectStore) list() []string {
 	names := make([]string, 0, len(s.objects))
@@ -122,10 +153,11 @@ func (s *objectStore) list() []string {
 // node: when the node is down the checkpoints are unreachable, which is
 // exactly why Table 1 flags local-only mechanisms as weak fault tolerance.
 type Local struct {
-	name  string
-	cm    *costmodel.Model
-	store *objectStore
-	alive func() bool
+	name   string
+	cm     *costmodel.Model
+	store  *objectStore
+	alive  func() bool
+	faults *FaultPolicy
 }
 
 // NewLocal creates a local-disk target; alive reports node liveness
@@ -136,6 +168,14 @@ func NewLocal(name string, cm *costmodel.Model, alive func() bool) *Local {
 	}
 	return &Local{name: name, cm: cm, store: newObjectStore(), alive: alive}
 }
+
+// SetFaults installs a per-operation fault-injection policy (nil
+// disables injection).
+func (l *Local) SetFaults(fp *FaultPolicy) { l.faults = fp }
+
+func (l *Local) faultsOf() *FaultPolicy { return l.faults }
+
+func (l *Local) tearObject(object string, keepFrac float64) { l.store.tear(object, keepFrac) }
 
 // Name implements Target.
 func (l *Local) Name() string { return l.name }
@@ -158,11 +198,12 @@ func (l *Local) Create(object string, env *Env) (Writer, error) {
 }
 
 type localWriter struct {
-	l      *Local
-	object string
-	env    *Env
-	buf    []byte
-	done   bool
+	l       *Local
+	object  string
+	env     *Env
+	buf     []byte
+	done    bool
+	crashed bool
 }
 
 func (w *localWriter) Write(p []byte) (int, error) {
@@ -171,6 +212,16 @@ func (w *localWriter) Write(p []byte) (int, error) {
 	}
 	if !w.l.Available() {
 		return 0, fmt.Errorf("%w: %s", ErrUnavailable, w.l.name)
+	}
+	if frac, _, crash := w.l.faults.crashWrite(false); crash {
+		keep := int(frac * float64(len(p)))
+		w.env.Wait(w.l.cm.DiskStream(keep), "disk-write")
+		w.buf = append(w.buf, p[:keep]...)
+		// The crash leaves whatever streamed so far on disk as a torn
+		// object; nobody is alive to clean it up.
+		w.l.store.objects[w.object] = append([]byte(nil), w.buf...)
+		w.done, w.crashed = true, true
+		return keep, fmt.Errorf("%w: %s/%s", ErrFault, w.l.name, w.object)
 	}
 	w.env.Wait(w.l.cm.DiskStream(len(p)), "disk-write")
 	w.buf = append(w.buf, p...)
@@ -189,7 +240,13 @@ func (w *localWriter) Commit() error {
 	return nil
 }
 
-func (w *localWriter) Abort() { w.done = true; w.buf = nil }
+func (w *localWriter) Abort() {
+	w.done = true
+	if w.crashed {
+		return // the torn object is already on disk; a crash has no undo
+	}
+	w.buf = nil
+}
 
 // ReadObject implements Target.
 func (l *Local) ReadObject(object string, env *Env) ([]byte, error) {
@@ -226,6 +283,20 @@ func (l *Local) ObjectSize(object string) (int, error) {
 	return len(data), nil
 }
 
+// Publish implements Target. The one seek covers the metadata write and
+// the sync that makes the rename durable.
+func (l *Local) Publish(staging, final string, env *Env) error {
+	env = orNop(env)
+	if !l.Available() {
+		return fmt.Errorf("%w: %s", ErrUnavailable, l.name)
+	}
+	if l.faults.failPublish() {
+		return fmt.Errorf("%w: publish %s/%s", ErrFault, l.name, final)
+	}
+	env.Wait(l.cm.DiskSeek, "publish")
+	return l.store.rename(staging, final)
+}
+
 // --- Remote checkpoint server ---
 
 // Server is the shared remote checkpoint store (e.g. a parallel
@@ -236,6 +307,7 @@ type Server struct {
 	cm     *costmodel.Model
 	store  *objectStore
 	failed bool
+	faults *FaultPolicy
 }
 
 // NewServer creates a remote checkpoint server.
@@ -248,6 +320,10 @@ func (s *Server) Fail() { s.failed = true }
 
 // Recover brings the server back.
 func (s *Server) Recover() { s.failed = false }
+
+// SetFaults installs a per-operation fault-injection policy, shared by
+// every Remote client of this server (nil disables injection).
+func (s *Server) SetFaults(fp *FaultPolicy) { s.faults = fp }
 
 // Remote is a node's client view of a Server: every byte crosses the
 // interconnect (charged per chunk) and then the server's disk.
@@ -282,11 +358,12 @@ func (r *Remote) Create(object string, env *Env) (Writer, error) {
 }
 
 type remoteWriter struct {
-	r      *Remote
-	object string
-	env    *Env
-	buf    []byte
-	done   bool
+	r       *Remote
+	object  string
+	env     *Env
+	buf     []byte
+	done    bool
+	crashed bool
 }
 
 func (w *remoteWriter) Write(p []byte) (int, error) {
@@ -296,15 +373,40 @@ func (w *remoteWriter) Write(p []byte) (int, error) {
 	if !w.r.Available() {
 		return 0, fmt.Errorf("%w: %s", ErrUnavailable, w.r.name)
 	}
-	for off := 0; off < len(p); off += chunk {
-		n := len(p) - off
-		if n > chunk {
-			n = chunk
+	srv := w.r.srv
+	if frac, outage, crash := srv.faults.crashWrite(true); crash {
+		keep := int(frac * float64(len(p)))
+		w.chargeTransfer(keep)
+		w.buf = append(w.buf, p[:keep]...)
+		// The prefix that crossed the wire is on the server as a torn
+		// object; the client's connection is gone.
+		srv.store.objects[w.object] = append([]byte(nil), w.buf...)
+		w.done, w.crashed = true, true
+		if outage {
+			// The crash was the server going down mid-transfer.
+			srv.Fail()
+			if srv.faults.OnOutage != nil {
+				srv.faults.OnOutage()
+			}
+			return keep, fmt.Errorf("%w: %s/%s: %w", ErrFault, w.r.name, w.object, ErrUnavailable)
 		}
-		w.env.Wait(w.r.cm.NetTransfer(n)+w.r.cm.DiskStream(n), "net-write")
+		return keep, fmt.Errorf("%w: %s/%s", ErrFault, w.r.name, w.object)
 	}
+	w.chargeTransfer(len(p))
 	w.buf = append(w.buf, p...)
 	return len(p), nil
+}
+
+// chargeTransfer bills n bytes of interconnect + server-disk time in
+// chunk-sized transfers.
+func (w *remoteWriter) chargeTransfer(n int) {
+	for off := 0; off < n; off += chunk {
+		c := n - off
+		if c > chunk {
+			c = chunk
+		}
+		w.env.Wait(w.r.cm.NetTransfer(c)+w.r.cm.DiskStream(c), "net-write")
+	}
 }
 
 func (w *remoteWriter) Commit() error {
@@ -319,7 +421,13 @@ func (w *remoteWriter) Commit() error {
 	return nil
 }
 
-func (w *remoteWriter) Abort() { w.done = true; w.buf = nil }
+func (w *remoteWriter) Abort() {
+	w.done = true
+	if w.crashed {
+		return // the torn object already reached the server
+	}
+	w.buf = nil
+}
 
 // ReadObject implements Target.
 func (r *Remote) ReadObject(object string, env *Env) ([]byte, error) {
@@ -362,6 +470,23 @@ func (r *Remote) ObjectSize(object string) (int, error) {
 	}
 	return len(data), nil
 }
+
+// Publish implements Target: one server-side metadata round-trip.
+func (r *Remote) Publish(staging, final string, env *Env) error {
+	env = orNop(env)
+	if !r.Available() {
+		return fmt.Errorf("%w: %s", ErrUnavailable, r.name)
+	}
+	if r.srv.faults.failPublish() {
+		return fmt.Errorf("%w: publish %s/%s", ErrFault, r.name, final)
+	}
+	env.Wait(r.cm.NetTransfer(64)+r.cm.DiskSeek, "publish")
+	return r.srv.store.rename(staging, final)
+}
+
+func (r *Remote) faultsOf() *FaultPolicy { return r.srv.faults }
+
+func (r *Remote) tearObject(object string, keepFrac float64) { r.srv.store.tear(object, keepFrac) }
 
 // --- Memory target ---
 
@@ -462,4 +587,12 @@ func (m *Memory) ObjectSize(object string) (int, error) {
 		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, object)
 	}
 	return len(data), nil
+}
+
+// Publish implements Target. RAM renames are free and never faulted.
+func (m *Memory) Publish(staging, final string, _ *Env) error {
+	if !m.Available() {
+		return fmt.Errorf("%w: %s", ErrUnavailable, m.name)
+	}
+	return m.store.rename(staging, final)
 }
