@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E11 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E12 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -30,8 +30,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 11 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..11)\n", part)
+			if err != nil || n < 1 || n > 12 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..12)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -44,12 +44,14 @@ func main() {
 	loads := []int{0, 2, 4, 8, 16}
 	mtbfs := []float64{2, 4, 8, 24, 72}
 	ranks := []int{2, 4, 8, 16}
+	losses := []float64{0, 0.05}
 	if *quick {
 		sizes = []int{1, 4}
 		e2mib, e3mib, e7mib = 4, 2, 2
 		loads = []int{0, 8}
 		mtbfs = []float64{8, 24}
 		ranks = []int{2, 8}
+		losses = []float64{0.05}
 	}
 
 	tables := []struct {
@@ -67,6 +69,7 @@ func main() {
 		{9, func() *trace.Table { return experiments.E9Matrix() }},
 		{10, func() *trace.Table { return experiments.E10Extras() }},
 		{11, func() *trace.Table { return experiments.E11StorageFaults(0.10) }},
+		{12, func() *trace.Table { return experiments.E12Detection(losses) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

@@ -1,0 +1,114 @@
+// The node-local checkpoint agent: in autonomic mode the supervisor no
+// longer drives checkpoints synchronously from its control loop (that
+// would require knowing the node is alive — an oracle). Instead each job
+// incarnation gets a small daemon on its own node that checkpoints the
+// process every Interval to the remote server, holding the fencing epoch
+// it was started under. The agent is node-local code: it runs only while
+// its machine does, and it keeps running after a false suspicion — which
+// is exactly how a split brain forms, and exactly what the fenced target
+// defuses.
+
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/mechanism"
+	"repro/internal/simos/proc"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// ckptAgent checkpoints one job incarnation from its own node.
+type ckptAgent struct {
+	s       *Supervisor
+	node    int
+	pid     proc.PID
+	epoch   uint64 // fencing epoch this incarnation was admitted at
+	nextAt  simtime.Time
+	stopped bool
+}
+
+// armAgent starts a checkpoint agent for the incarnation of the job
+// running as pid on node, admitted at the given fencing epoch.
+func (s *Supervisor) armAgent(node int, pid proc.PID, epoch uint64) {
+	s.agents = append(s.agents, &ckptAgent{
+		s: s, node: node, pid: pid, epoch: epoch,
+		nextAt: s.C.Now().Add(s.Interval),
+	})
+}
+
+// pumpAgents runs every live agent once; registered as a cluster step
+// hook by runAutonomic.
+func (s *Supervisor) pumpAgents() {
+	for _, a := range s.agents {
+		a.pump()
+	}
+}
+
+// pump is one scheduling quantum of the agent's life.
+func (a *ckptAgent) pump() {
+	if a.stopped {
+		return
+	}
+	c := a.s.C
+	// Node-local code executes only on a live machine. This is fidelity,
+	// not an oracle: a dead node's daemon is simply not running.
+	if !c.NodeAlive(a.node) {
+		return
+	}
+	now := c.Now()
+	if now < a.nextAt {
+		return
+	}
+	a.nextAt = now.Add(a.s.Interval)
+	n := c.Node(a.node)
+	p, err := n.K.Procs.Lookup(a.pid)
+	if err != nil {
+		a.stopped = true // rebooted under us: the process is gone
+		return
+	}
+	if p.State == proc.StateZombie {
+		a.stopped = true // finished (or killed); nothing left to protect
+		return
+	}
+	m, err := a.s.mech(a.node)
+	if err != nil {
+		a.s.Counters.Inc("agent.mech_failed", 1)
+		return
+	}
+	tgt := storage.Target(n.Remote())
+	if !a.s.NoFencing {
+		tgt = storage.FencedAt(tgt, a.s.Fence, a.epoch)
+	}
+	tk, err := mechanism.Checkpoint(m, n.K, p, tgt, nil)
+	if err != nil {
+		if errors.Is(err, storage.ErrFenced) {
+			// The server told us another incarnation owns the job now:
+			// self-fence. Kill the local (superseded) process and stop —
+			// the split brain ends here, with zero double commits.
+			a.s.Counters.Inc("fence.suicides", 1)
+			if p.State != proc.StateZombie {
+				n.K.Exit(p, 137)
+			}
+			n.K.Procs.Remove(p.PID)
+			a.stopped = true
+			return
+		}
+		a.s.Counters.Inc("agent.ckpt_failed", 1)
+		return // transient storage trouble: try again next interval
+	}
+	if a.epoch == a.s.Fence.Epoch() {
+		// Current incarnation: advertise the new leaf for recovery.
+		a.s.Checkpoints++
+		a.s.lastLeaf = tk.Img.ObjectName()
+		a.s.lastNode = a.node
+		a.s.lastLocal = false
+		a.s.lastCkptDur = tk.Total()
+	} else {
+		// A stale writer slipped a commit past the (disabled) fence:
+		// this is a split-brain double commit, and it may have replaced
+		// the live incarnation's image under the same object name.
+		a.s.Counters.Inc("fence.double_commits", 1)
+	}
+}

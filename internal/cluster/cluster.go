@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Node is one machine: a kernel plus its local disk. The disk's contents
@@ -30,6 +32,7 @@ type Node struct {
 
 	alive    bool
 	failures int
+	lastKind FailureKind // kind of the most recent failure
 	cl       *Cluster
 	idx      int
 }
@@ -58,6 +61,9 @@ type Cluster struct {
 	CM       *costmodel.Model
 	Registry *kernel.Registry
 	Server   *storage.Server
+	// Counters accumulates cluster-wide counters (net.*, and — shared by
+	// default with the orchestration layer — ckpt.*, det.*, fence.*).
+	Counters *trace.Counters
 
 	nodes   []*Node
 	now     simtime.Time
@@ -67,7 +73,11 @@ type Cluster struct {
 	mail     []message
 	handlers []func(payload any)
 
-	injector *Injector
+	injector  *Injector
+	net       *NetPolicy
+	stepHooks []func()
+	downHooks []func(node int)
+	upHooks   []func(node int)
 
 	faults       *storage.FaultPolicy
 	serverRepair simtime.Duration
@@ -92,6 +102,7 @@ func New(cfg Config, cm *costmodel.Model, reg *kernel.Registry) *Cluster {
 		CM:       cm,
 		Registry: reg,
 		Server:   storage.NewServer("ckpt-server", cm),
+		Counters: trace.NewCounters(),
 		quantum:  cfg.Quantum,
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
@@ -168,8 +179,32 @@ func (c *Cluster) EnableStorageFaults(cfg StorageFaultConfig) *storage.FaultPoli
 }
 
 // OnDeliver registers the cross-node message handler for node i
-// (package mpi installs its mailbox here).
+// (package mpi installs its mailbox here). It replaces any previous
+// handler; use Handler first to chain.
 func (c *Cluster) OnDeliver(i int, fn func(payload any)) { c.handlers[i] = fn }
+
+// Handler returns node i's registered deliver handler (nil when none),
+// so a new handler can filter its own payloads and forward the rest.
+func (c *Cluster) Handler(i int) func(payload any) { return c.handlers[i] }
+
+// OnStep registers a hook run at the end of every cluster Step, after
+// mail delivery and failure injection. Node-local daemons (heartbeat
+// emitters, checkpoint agents) pump from here.
+func (c *Cluster) OnStep(fn func()) { c.stepHooks = append(c.stepHooks, fn) }
+
+// OnNodeDown registers a hook invoked whenever a node fails. Detector
+// bookkeeping uses it as ground truth for latency and false-positive
+// accounting; decision paths must not.
+func (c *Cluster) OnNodeDown(fn func(node int)) { c.downHooks = append(c.downHooks, fn) }
+
+// OnNodeUp registers a hook invoked whenever a node reboots.
+func (c *Cluster) OnNodeUp(fn func(node int)) { c.upHooks = append(c.upHooks, fn) }
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// NodeAlive reports node i's liveness (detector.Transport).
+func (c *Cluster) NodeAlive(i int) bool { return c.nodes[i].alive }
 
 // DropMail discards queued in-flight messages matching the predicate —
 // the network teardown a parallel job performs before restarting from a
@@ -189,14 +224,36 @@ func (c *Cluster) DropMail(match func(payload any) bool) int {
 	return dropped
 }
 
+// ErrNodeDown reports that a Send's destination was already down when
+// the message left the source: the message was never sent, as opposed to
+// sent and lost in flight (which Send deliberately does not report —
+// the network gives no receipt).
+var ErrNodeDown = errors.New("cluster: destination node is down")
+
 // Send queues a payload of the given size from node `from` to node `to`;
-// it is delivered at the first barrier after the modeled transfer time.
+// it is delivered at the first barrier after the modeled transfer time
+// (plus injected jitter). A destination known to be down at send time
+// returns ErrNodeDown; a message lost, partitioned away, or addressed to
+// a handler-less node is counted (net.*) but reported to nobody.
 func (c *Cluster) Send(from, to int, payload any, size int) error {
 	if !c.nodes[from].alive {
 		return fmt.Errorf("cluster: %s is down", c.nodes[from].Name)
 	}
-	at := c.now.Add(c.CM.NetTransfer(size))
+	c.Counters.Inc("net.sent", 1)
+	if !c.nodes[to].alive {
+		c.Counters.Inc("net.dropped", 1)
+		return fmt.Errorf("%w: %s", ErrNodeDown, c.nodes[to].Name)
+	}
+	deliver, extra, dup := c.net.outcome(from, to)
+	if !deliver {
+		return nil
+	}
+	at := c.now.Add(c.CM.NetTransfer(size) + extra)
 	c.mail = append(c.mail, message{to: to, payload: payload, at: at})
+	if dup {
+		c.mail = append(c.mail, message{to: to, payload: payload,
+			at: c.now.Add(c.CM.NetTransfer(size) + c.net.jitter())})
+	}
 	return nil
 }
 
@@ -209,15 +266,18 @@ func (c *Cluster) Step() {
 			n.K.RunFor(c.now.Sub(n.K.Now()))
 		}
 	}
-	// Deliver due mail (to live nodes; mail to dead nodes is dropped,
-	// fail-stop semantics).
+	// Deliver due mail (to live nodes; mail to dead or handler-less
+	// nodes is dropped and counted, fail-stop semantics).
 	var rest []message
 	for _, m := range c.mail {
 		switch {
 		case m.at > c.now:
 			rest = append(rest, m)
 		case c.nodes[m.to].alive && c.handlers[m.to] != nil:
+			c.Counters.Inc("net.delivered", 1)
 			c.handlers[m.to](m.payload)
+		default:
+			c.Counters.Inc("net.dropped", 1)
 		}
 	}
 	c.mail = rest
@@ -227,6 +287,9 @@ func (c *Cluster) Step() {
 	if c.serverBackAt != 0 && c.now >= c.serverBackAt {
 		c.Server.Recover()
 		c.serverBackAt = 0
+	}
+	for _, fn := range c.stepHooks {
+		fn()
 	}
 }
 
@@ -251,25 +314,38 @@ func (c *Cluster) RunUntil(cond func() bool, budget simtime.Duration) bool {
 	return cond()
 }
 
-// Fail takes node i down (fail-stop: it halts instantly and all its
-// processes die). Its local disk becomes unreachable.
-func (c *Cluster) Fail(i int) {
+// Fail takes node i down with Transient semantics (fail-stop: it halts
+// instantly and all its processes die). Its local disk becomes
+// unreachable but keeps its contents for a later Reboot.
+func (c *Cluster) Fail(i int) { c.FailKind(i, Transient) }
+
+// FailKind takes node i down recording the §4.1 distinction: a Transient
+// failure (power outage) reboots the same machine, disk intact; a
+// Permanent one is a machine replacement, so the node that later comes
+// back does so with a blank local disk.
+func (c *Cluster) FailKind(i int, kind FailureKind) {
 	n := c.nodes[i]
 	if !n.alive {
 		return
 	}
 	n.alive = false
 	n.failures++
+	n.lastKind = kind
 	n.K.SetHalted(true)
 	for _, p := range n.K.Procs.All() {
 		if p.State != proc.StateZombie && p.State != proc.StateDead {
 			n.K.Exit(p, 137)
 		}
 	}
+	for _, fn := range c.downHooks {
+		fn(i)
+	}
 }
 
 // Reboot brings node i back with a fresh kernel (empty process table).
-// The local disk's contents are intact; RAM contents are lost.
+// After a Transient failure the local disk's contents are intact; after
+// a Permanent one the replacement machine's disk starts empty. RAM
+// contents are lost either way.
 func (c *Cluster) Reboot(i int) {
 	n := c.nodes[i]
 	if n.alive {
@@ -282,7 +358,46 @@ func (c *Cluster) Reboot(i int) {
 	k.Eng.Clock.AdvanceTo(c.now)
 	n.K = k
 	n.RAM.Drop()
+	if n.lastKind == Permanent {
+		n.Disk.Wipe()
+	}
 	n.alive = true
+	for _, fn := range c.upHooks {
+		fn(i)
+	}
+}
+
+// Reachable reports whether a message from node `from` would currently
+// reach node `to`: the destination must be up and no active partition
+// may separate the two. This is the network model's answer, used to
+// decide the fate of modeled RPCs.
+func (c *Cluster) Reachable(from, to int) bool {
+	return c.nodes[to].alive && !c.net.Partitioned(from, to)
+}
+
+// ProcStatus is the reply of a successful status RPC.
+type ProcStatus struct {
+	State       proc.State
+	ExitCode    int
+	Fingerprint uint64
+	Found       bool // false: the node answered but has no such process
+}
+
+// ProbeProcess models a status RPC from node `from` to the job runner on
+// node `on`: when the network would swallow the request (dead peer or
+// active partition) it returns ok=false and the caller learns nothing —
+// a dead node and a slow link are indistinguishable, which is exactly
+// why callers must leave the dead/alive verdict to a failure detector
+// rather than to this probe.
+func (c *Cluster) ProbeProcess(from, on int, pid proc.PID) (st ProcStatus, ok bool) {
+	if !c.Reachable(from, on) {
+		return ProcStatus{}, false
+	}
+	p, err := c.nodes[on].K.Procs.Lookup(pid)
+	if err != nil {
+		return ProcStatus{Found: false}, true
+	}
+	return ProcStatus{State: p.State, ExitCode: p.ExitCode, Fingerprint: p.Regs().G[3], Found: true}, true
 }
 
 // FindSpare returns the first live node other than `except`, or -1.

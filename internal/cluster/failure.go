@@ -96,14 +96,9 @@ func NewInjector(model FailureModel, repair simtime.Duration, seed int64, nodes 
 }
 
 func (inj *Injector) scheduleNext(node int, now simtime.Time) {
-	kind := Transient
-	if inj.rng.Float64() < inj.PermanentFrac {
-		kind = Permanent
-	}
 	inj.pending = append(inj.pending, injEvent{
 		at:   now.Add(inj.Model.NextGap(inj.rng)),
 		node: node,
-		kind: kind,
 	})
 	sort.Slice(inj.pending, func(i, j int) bool { return inj.pending[i].at < inj.pending[j].at })
 }
@@ -121,7 +116,14 @@ func (inj *Injector) apply(c *Cluster) {
 		if !c.nodes[ev.node].alive {
 			continue
 		}
-		c.Fail(ev.node)
+		// The kind is drawn at fire time so a PermanentFrac set after
+		// construction governs every failure, including the pre-scheduled
+		// first one per node.
+		ev.kind = Transient
+		if inj.rng.Float64() < inj.PermanentFrac {
+			ev.kind = Permanent
+		}
+		c.FailKind(ev.node, ev.kind)
 		if ev.kind == Transient {
 			inj.pending = append(inj.pending, injEvent{at: c.now.Add(inj.RepairTime), node: ev.node, reboot: true})
 			sort.Slice(inj.pending, func(i, j int) bool { return inj.pending[i].at < inj.pending[j].at })

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func putLocal(t *testing.T, n *Node, object, data string) {
+	t.Helper()
+	if err := storage.Put(n.Disk, object, []byte(data), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §4.1: a transient failure is a power outage — the same machine reboots
+// and its local disk comes back with every checkpoint image intact.
+func TestTransientFailureKeepsLocalCheckpoints(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	n := c.Node(0)
+	putLocal(t, n, "ckpt/pid1/seq1", "img")
+
+	c.FailKind(0, Transient)
+	if n.Disk.Available() {
+		t.Fatal("local disk reachable on a dead node")
+	}
+	c.Reboot(0)
+	data, err := n.Disk.ReadObject("ckpt/pid1/seq1", nil)
+	if err != nil || string(data) != "img" {
+		t.Fatalf("transient reboot lost the local image: %q, %v", data, err)
+	}
+}
+
+// §4.1: a permanent failure replaces the machine — the node that comes
+// back has a blank disk, so node-local checkpoints are gone for good.
+func TestPermanentFailureLosesLocalCheckpoints(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	n := c.Node(0)
+	putLocal(t, n, "ckpt/pid1/seq1", "img")
+
+	c.FailKind(0, Permanent)
+	c.Reboot(0)
+	if _, err := n.Disk.ReadObject("ckpt/pid1/seq1", nil); err == nil {
+		t.Fatal("image survived a machine replacement")
+	}
+	if got := len(n.Disk.List()); got != 0 {
+		t.Fatalf("replacement machine's disk has %d objects, want 0", got)
+	}
+}
+
+// The injector preserves the kind distinction end to end: with
+// PermanentFrac 0 every failure is transient, nodes repair, and their
+// disks keep pre-failure images.
+func TestInjectorTransientRepairKeepsDisk(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	for i, n := range c.Nodes() {
+		putLocal(t, n, "ckpt/pid1/seq1", "img")
+		_ = i
+	}
+	inj := NewInjector(Exponential{Mean: 5 * simtime.Millisecond}, simtime.Millisecond, 9, 2)
+	fails := 0
+	inj.OnFail = func(c *Cluster, node int, kind FailureKind) {
+		fails++
+		if kind != Transient {
+			t.Fatalf("PermanentFrac 0 produced a %v failure", kind)
+		}
+	}
+	c.SetInjector(inj)
+	c.RunFor(60 * simtime.Millisecond)
+	if fails == 0 {
+		t.Fatal("injector never fired")
+	}
+	for i, n := range c.Nodes() {
+		if !n.Alive() {
+			continue // mid-outage at the horizon; its disk is unreachable
+		}
+		if data, err := n.Disk.ReadObject("ckpt/pid1/seq1", nil); err != nil || string(data) != "img" {
+			t.Fatalf("node %d lost its local image across transient repairs: %q, %v", i, data, err)
+		}
+	}
+}
+
+// With PermanentFrac 1 every failure is a machine loss: the injector
+// schedules no repair, and the node stays down.
+func TestInjectorPermanentFailureStaysDown(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	inj := NewInjector(Exponential{Mean: 5 * simtime.Millisecond}, simtime.Millisecond, 9, 2)
+	inj.PermanentFrac = 1.0
+	kinds := 0
+	inj.OnFail = func(c *Cluster, node int, kind FailureKind) {
+		kinds++
+		if kind != Permanent {
+			t.Fatalf("PermanentFrac 1 produced a %v failure", kind)
+		}
+	}
+	c.SetInjector(inj)
+	c.RunFor(60 * simtime.Millisecond)
+	if kinds == 0 {
+		t.Fatal("injector never fired")
+	}
+	for i, n := range c.Nodes() {
+		if n.Alive() {
+			t.Fatalf("node %d repaired after a permanent failure", i)
+		}
+	}
+}

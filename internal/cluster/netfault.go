@@ -1,0 +1,130 @@
+// Network fault model: the paper's "direction forward" (§5) is autonomic
+// recovery, and recovery driven by message-based failure detection is
+// only honest if the messages themselves can be lost, delayed,
+// duplicated, or cut off by a partition. NetPolicy mirrors
+// storage.FaultPolicy one layer down: per-message fault draws from a
+// cluster-seeded RNG, with net.* counters so experiments can report
+// exactly what the network did to the control plane.
+
+package cluster
+
+import (
+	"math/rand"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// NetFaultConfig tunes per-message network fault injection.
+type NetFaultConfig struct {
+	// Loss is the per-message probability that the payload silently
+	// vanishes in flight. The sender is never told (that is the point:
+	// a lost heartbeat and a dead peer look identical to a detector).
+	Loss float64
+	// Duplicate is the per-message probability that a second copy is
+	// delivered, with its own independently drawn delay.
+	Duplicate float64
+	// DelayJitter adds a uniform extra delay in [0, DelayJitter] to every
+	// message on top of the modeled transfer time. Late heartbeats are
+	// what separate a good detector from a trigger-happy one.
+	DelayJitter simtime.Duration
+}
+
+// NetPolicy applies a NetFaultConfig plus named network partitions to
+// every cross-node message. A nil *NetPolicy injects nothing.
+type NetPolicy struct {
+	cfg NetFaultConfig
+	rng *rand.Rand
+	ctr *trace.Counters
+
+	// partitions maps a partition name to the node set on one side of
+	// the cut; traffic crossing any active cut is dropped.
+	partitions map[string]map[int]bool
+}
+
+// EnableNetFaults installs a network fault policy, seeded from the
+// cluster RNG for deterministic replay. Counters land in c.Counters
+// under net.*.
+func (c *Cluster) EnableNetFaults(cfg NetFaultConfig) *NetPolicy {
+	np := &NetPolicy{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(c.rng.Int63())),
+		ctr:        c.Counters,
+		partitions: make(map[string]map[int]bool),
+	}
+	c.net = np
+	return np
+}
+
+// Net returns the installed network fault policy (nil when faults are
+// disabled).
+func (c *Cluster) Net() *NetPolicy { return c.net }
+
+// Partition opens (or redefines) a named network partition: the nodes in
+// side are cut off from every node not in side. Multiple partitions can
+// be active at once; a message is dropped if any active cut separates
+// its endpoints. Node-local (loopback) traffic is never affected.
+func (np *NetPolicy) Partition(name string, side ...int) {
+	s := make(map[int]bool, len(side))
+	for _, n := range side {
+		s[n] = true
+	}
+	np.partitions[name] = s
+}
+
+// Heal closes a named partition.
+func (np *NetPolicy) Heal(name string) { delete(np.partitions, name) }
+
+// Partitioned reports whether traffic between a and b currently crosses
+// an active cut.
+func (np *NetPolicy) Partitioned(a, b int) bool {
+	if np == nil || a == b {
+		return false
+	}
+	for _, side := range np.partitions {
+		if side[a] != side[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// outcome decides the fate of one message from→to. It returns whether
+// the message is delivered at all, the extra delay beyond the transfer
+// time, and whether a duplicate copy (with its own delay) follows.
+func (np *NetPolicy) outcome(from, to int) (deliver bool, extra simtime.Duration, dup bool) {
+	if np == nil {
+		return true, 0, false
+	}
+	if from == to {
+		// Loopback: never crosses the wire.
+		return true, 0, false
+	}
+	if np.Partitioned(from, to) {
+		np.ctr.Inc("net.partitioned", 1)
+		return false, 0, false
+	}
+	if np.cfg.Loss > 0 && np.rng.Float64() < np.cfg.Loss {
+		np.ctr.Inc("net.lost", 1)
+		return false, 0, false
+	}
+	if np.cfg.DelayJitter > 0 {
+		extra = simtime.Duration(np.rng.Int63n(int64(np.cfg.DelayJitter) + 1))
+		if extra > 0 {
+			np.ctr.Inc("net.delayed", 1)
+		}
+	}
+	if np.cfg.Duplicate > 0 && np.rng.Float64() < np.cfg.Duplicate {
+		np.ctr.Inc("net.dup", 1)
+		dup = true
+	}
+	return true, extra, dup
+}
+
+// jitter draws one extra delay for a duplicate copy.
+func (np *NetPolicy) jitter() simtime.Duration {
+	if np == nil || np.cfg.DelayJitter <= 0 {
+		return 0
+	}
+	return simtime.Duration(np.rng.Int63n(int64(np.cfg.DelayJitter) + 1))
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func TestNetLossDropsMessagesSilently(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	c.EnableNetFaults(NetFaultConfig{Loss: 1.0})
+	got := 0
+	c.OnDeliver(1, func(any) { got++ })
+	for i := 0; i < 10; i++ {
+		if err := c.Send(0, 1, i, 64); err != nil {
+			t.Fatalf("loss must be silent, got %v", err)
+		}
+	}
+	c.RunFor(10 * simtime.Millisecond)
+	if got != 0 {
+		t.Fatalf("%d messages delivered under 100%% loss", got)
+	}
+	if n := c.Counters.Get("net.lost"); n != 10 {
+		t.Fatalf("net.lost = %d, want 10", n)
+	}
+}
+
+func TestNetPartitionCutsAndHeals(t *testing.T) {
+	c := newCluster(t, 3, workload.Spin{Tag: "x"})
+	np := c.EnableNetFaults(NetFaultConfig{})
+	got := 0
+	c.OnDeliver(1, func(any) { got++ })
+
+	np.Partition("cut", 0)
+	if !np.Partitioned(0, 1) || np.Partitioned(1, 2) {
+		t.Fatal("partition sides wrong")
+	}
+	if c.Reachable(0, 1) || !c.Reachable(1, 2) {
+		t.Fatal("Reachable disagrees with the partition")
+	}
+	_ = c.Send(0, 1, "a", 64)
+	c.RunFor(5 * simtime.Millisecond)
+	if got != 0 {
+		t.Fatal("message crossed an active partition")
+	}
+	if n := c.Counters.Get("net.partitioned"); n != 1 {
+		t.Fatalf("net.partitioned = %d, want 1", n)
+	}
+
+	np.Heal("cut")
+	_ = c.Send(0, 1, "b", 64)
+	c.RunFor(5 * simtime.Millisecond)
+	if got != 1 {
+		t.Fatalf("after heal got %d deliveries, want 1", got)
+	}
+}
+
+func TestNetDuplicateDeliversTwice(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	c.EnableNetFaults(NetFaultConfig{Duplicate: 1.0})
+	got := 0
+	c.OnDeliver(1, func(any) { got++ })
+	for i := 0; i < 5; i++ {
+		_ = c.Send(0, 1, i, 64)
+	}
+	c.RunFor(10 * simtime.Millisecond)
+	if got != 10 {
+		t.Fatalf("got %d deliveries of 5 sends under 100%% duplication, want 10", got)
+	}
+}
+
+func TestNetDelayJitterCounts(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	c.EnableNetFaults(NetFaultConfig{DelayJitter: 2 * simtime.Millisecond})
+	got := 0
+	c.OnDeliver(1, func(any) { got++ })
+	for i := 0; i < 20; i++ {
+		_ = c.Send(0, 1, i, 64)
+	}
+	c.RunFor(20 * simtime.Millisecond)
+	if got != 20 {
+		t.Fatalf("jitter lost messages: %d/20 delivered", got)
+	}
+	if c.Counters.Get("net.delayed") == 0 {
+		t.Fatal("no message was recorded as delayed")
+	}
+}
+
+func TestSendToDeadNodeReturnsSentinel(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	c.Fail(1)
+	err := c.Send(0, 1, "x", 64)
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if n := c.Counters.Get("net.dropped"); n != 1 {
+		t.Fatalf("net.dropped = %d, want 1", n)
+	}
+}
+
+func TestMailToHandlerlessNodeIsCountedDropped(t *testing.T) {
+	c := newCluster(t, 2, workload.Spin{Tag: "x"})
+	_ = c.Send(0, 1, "x", 64) // node 1 has no OnDeliver handler
+	c.RunFor(5 * simtime.Millisecond)
+	if n := c.Counters.Get("net.dropped"); n != 1 {
+		t.Fatalf("net.dropped = %d, want 1", n)
+	}
+	if n := c.Counters.Get("net.delivered"); n != 0 {
+		t.Fatalf("net.delivered = %d, want 0", n)
+	}
+}
+
+func TestNetFaultsAreDeterministicPerSeed(t *testing.T) {
+	run := func() (lost int64) {
+		c := newCluster(t, 2, workload.Spin{Tag: "x"})
+		c.EnableNetFaults(NetFaultConfig{Loss: 0.3})
+		c.OnDeliver(1, func(any) {})
+		for i := 0; i < 200; i++ {
+			_ = c.Send(0, 1, i, 64)
+		}
+		c.RunFor(10 * simtime.Millisecond)
+		return c.Counters.Get("net.lost")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different loss pattern: %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("loss 0.3 produced degenerate count %d", a)
+	}
+}

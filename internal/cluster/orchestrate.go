@@ -13,6 +13,25 @@ import (
 	"repro/internal/trace"
 )
 
+// FailureDetector is the suspicion service an autonomic supervisor
+// consults instead of the simulator's fail-stop oracle. It is
+// implemented by detector.Monitor; the interface lives here so cluster
+// does not import detector (which imports nothing of cluster either —
+// both meet at this seam and at detector.Transport).
+type FailureDetector interface {
+	// Suspected reports whether node is currently suspected dead.
+	Suspected(node int) bool
+	// PickHealthy returns an unsuspected node other than except (and
+	// other than the detector's own observer node), or -1.
+	PickHealthy(except int) int
+	// Failover records that the caller acted on a suspicion of node.
+	Failover(node int)
+}
+
+// ErrSuspected is returned by detector-gated operations whose endpoint
+// is currently suspected dead.
+var ErrSuspected = errors.New("cluster: node is suspected by the failure detector")
+
 // MechPool caches one mechanism instance per node (mechanisms bind to a
 // single kernel, so cross-node operations need one instance per machine).
 type MechPool struct {
@@ -43,8 +62,19 @@ func (mp *MechPool) For(node int) (mechanism.Mechanism, error) {
 // CRAK/ZAP/BProc use case): checkpoint on the source, ship the image,
 // kill the original, restart on the destination.
 func Migrate(c *Cluster, pool *MechPool, from, to int, pid proc.PID) (*proc.Process, error) {
+	return MigrateWith(c, pool, from, to, pid, nil)
+}
+
+// MigrateWith is Migrate gated by a failure detector: when det is
+// non-nil a suspected endpoint aborts the migration with ErrSuspected
+// before any capture work, instead of the oracle liveness check.
+func MigrateWith(c *Cluster, pool *MechPool, from, to int, pid proc.PID, det FailureDetector) (*proc.Process, error) {
 	src, dst := c.Node(from), c.Node(to)
-	if !src.Alive() || !dst.Alive() {
+	if det != nil {
+		if det.Suspected(from) || det.Suspected(to) {
+			return nil, fmt.Errorf("cluster: migrate %d->%d: %w", from, to, ErrSuspected)
+		}
+	} else if !src.Alive() || !dst.Alive() {
 		return nil, errors.New("cluster: migration endpoints must be alive")
 	}
 	p, err := src.K.Procs.Lookup(pid)
@@ -102,6 +132,10 @@ type Gang struct {
 	C       *Cluster
 	MkMech  func() mechanism.Mechanism
 	Members []GangMember
+	// Det, when set, vetoes preemption/resume touching a suspected node
+	// (ErrSuspected) — the gang controller trusts the detector, not the
+	// simulator's oracle.
+	Det FailureDetector
 
 	mechs  map[int]mechanism.Mechanism
 	images map[int]*checkpoint.Image // keyed by member index
@@ -150,6 +184,9 @@ func (g *Gang) Preempt() error {
 	}
 	caps := make([]captured, len(g.Members))
 	for i, mb := range g.Members {
+		if g.Det != nil && g.Det.Suspected(mb.Node) {
+			return fmt.Errorf("cluster: gang preempt member %d on node %d: %w", i, mb.Node, ErrSuspected)
+		}
 		n := g.C.Node(mb.Node)
 		m, err := g.mech(mb.Node)
 		if err != nil {
@@ -182,6 +219,9 @@ func (g *Gang) Resume() ([]*proc.Process, error) {
 	}
 	out := make([]*proc.Process, 0, len(g.Members))
 	for i, mb := range g.Members {
+		if g.Det != nil && g.Det.Suspected(mb.Node) {
+			return nil, fmt.Errorf("cluster: gang resume member %d on node %d: %w", i, mb.Node, ErrSuspected)
+		}
 		img := g.images[i]
 		if img == nil {
 			return nil, fmt.Errorf("cluster: no image for member %d", i)
@@ -233,9 +273,32 @@ type Supervisor struct {
 	// UnsafeCommit disables atomic image commit (legacy in-place writes)
 	// — the torn-image contrast for experiments and tests.
 	UnsafeCommit bool
-	// Counters receives ckpt.* orchestration counters (created by Run
-	// when nil).
+	// Counters receives ckpt.* orchestration counters (defaults to the
+	// cluster's shared counter set).
 	Counters *trace.Counters
+
+	// Detector switches Run into autonomic mode: liveness verdicts come
+	// from heartbeat-driven suspicion instead of the simulator's
+	// fail-stop oracle, checkpoints are taken by node-local agents, and
+	// every failover is fenced through Fence.
+	Detector FailureDetector
+	// Fence is the job's epoch domain (created by Run when nil). Each
+	// incarnation publishes through a target fenced at its admission
+	// epoch; Advance-before-restart makes a stale incarnation's commits
+	// rejectable no matter how wrong the suspicion was.
+	Fence *storage.FenceDomain
+	// NoFencing disables the fenced target — the split-brain contrast.
+	// Double commits by stale incarnations then succeed and are counted
+	// under fence.double_commits.
+	NoFencing bool
+	// ControlNode is where the supervisor (and its status probes)
+	// originate in autonomic mode; it should match the detector's
+	// observer node. The job is never placed there.
+	ControlNode int
+	// OracleReads counts decision-path reads of simulator ground truth
+	// (Alive / direct process-table inspection). Autonomic mode performs
+	// none: its tests assert this stays zero.
+	OracleReads int
 
 	node        int
 	pid         proc.PID
@@ -244,6 +307,7 @@ type Supervisor struct {
 	lastNode    int
 	lastLocal   bool // last good image is on lastNode's local disk
 	lastCkptDur simtime.Duration
+	agents      []*ckptAgent
 
 	// Results
 	Completed   bool
@@ -255,12 +319,18 @@ type Supervisor struct {
 }
 
 // Run drives the cluster until the job completes or the budget elapses.
+// With a Detector set it runs autonomically (suspicion-driven, fenced);
+// otherwise it uses the classic oracle loop, whose ground-truth reads
+// are tallied in OracleReads for comparison.
 func (s *Supervisor) Run(budget simtime.Duration) error {
 	if s.Estimator == nil {
 		s.Estimator = NewMTBFEstimator(simtime.Hour)
 	}
 	if s.Counters == nil {
-		s.Counters = trace.NewCounters()
+		s.Counters = s.C.Counters
+	}
+	if s.Detector != nil {
+		return s.runAutonomic(budget)
 	}
 	s.mechAt = make(map[int]nodeMech)
 	start := s.C.Now()
@@ -288,6 +358,9 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 		lastObs = s.C.Now()
 
 		n := s.C.Node(s.node)
+		// Both reads below are simulator ground truth a real supervisor
+		// would not have; the autonomic loop replaces them.
+		s.OracleReads++
 		if !n.Alive() {
 			s.Estimator.ObserveFailure()
 			if err := s.recover(); err != nil {
@@ -295,6 +368,7 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 			}
 			continue
 		}
+		s.OracleReads++
 		p, err := n.K.Procs.Lookup(s.pid)
 		if err != nil {
 			// The node failed AND rebooted within the interval: the fresh
@@ -438,6 +512,7 @@ func (s *Supervisor) checkpoint(p *proc.Process) error {
 		// or the process may have died while we waited, in which case the
 		// main loop — not this retry loop — must handle it.
 		s.C.RunFor(backoff << uint(attempt))
+		s.OracleReads += 2
 		if !s.C.Node(s.node).Alive() {
 			return lastErr
 		}
@@ -460,6 +535,7 @@ func (s *Supervisor) checkpoint(p *proc.Process) error {
 // recover restarts the job on a spare node from the best reachable
 // checkpoint — or from scratch when the only copies died with the node.
 func (s *Supervisor) recover() error {
+	s.OracleReads++ // FindSpare scans ground-truth liveness
 	spare := s.C.FindSpare(s.node)
 	if spare < 0 {
 		return errors.New("cluster: no spare node")
@@ -511,5 +587,144 @@ func (s *Supervisor) recover() error {
 	s.node = spare
 	s.pid = p.PID
 	s.Restarts++
+	return nil
+}
+
+// runAutonomic is the detector-driven main loop: the supervisor sits on
+// ControlNode and learns about the job only through two message-based
+// channels — the failure detector's suspicion verdicts (heartbeats over
+// the faulty network) and status RPCs (ProbeProcess) that can simply go
+// unanswered. It never reads Alive() or a remote process table directly,
+// so a partition looks exactly like a crash, false positives happen, and
+// the fencing epoch is what keeps them safe.
+func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
+	if s.Interval <= 0 {
+		return errors.New("cluster: autonomic mode needs a checkpoint Interval")
+	}
+	if s.Fence == nil {
+		s.Fence = storage.NewFenceDomain("job", s.Counters)
+	}
+	s.mechAt = make(map[int]nodeMech)
+	s.C.OnStep(s.pumpAgents)
+
+	start := s.C.Now()
+	first := 0
+	if first == s.ControlNode {
+		first = 1 // the job never shares a machine with the control plane
+	}
+	// Admit the first incarnation. Advancing before start is the
+	// invariant: a writer's epoch is fixed before it can produce bytes.
+	epoch := s.Fence.Advance()
+	if err := s.start(first); err != nil {
+		return err
+	}
+	s.armAgent(first, s.pid, epoch)
+
+	poll := s.Interval / 4
+	if poll <= 0 {
+		poll = simtime.Millisecond
+	}
+	deadline := start.Add(budget)
+	lastObs := s.C.Now()
+	for s.C.Now() < deadline {
+		s.C.RunFor(poll)
+		s.Estimator.ObserveUptime(s.C.Now().Sub(lastObs))
+		lastObs = s.C.Now()
+
+		if s.Detector.Suspected(s.node) {
+			// The detector says the job's node is dead. It may be wrong —
+			// we cannot tell, and we do not try: fence, then fail over.
+			s.Estimator.ObserveFailure()
+			s.Detector.Failover(s.node)
+			if err := s.recoverFenced(); err != nil {
+				return err
+			}
+			continue
+		}
+		st, ok := s.C.ProbeProcess(s.ControlNode, s.node, s.pid)
+		if !ok {
+			// No reply. Crashed or merely unreachable? The probe cannot
+			// say; arbitration belongs to the detector, next round.
+			continue
+		}
+		if !st.Found {
+			// The node answered and the job is gone — it rebooted under
+			// us faster than suspicion could accrue.
+			s.Estimator.ObserveFailure()
+			if err := s.recoverFenced(); err != nil {
+				return err
+			}
+			continue
+		}
+		if st.State == proc.StateZombie && st.ExitCode != 0 {
+			s.Estimator.ObserveFailure()
+			if err := s.recoverFenced(); err != nil {
+				return err
+			}
+			continue
+		}
+		if st.State == proc.StateZombie {
+			s.Completed = true
+			s.Fingerprint = st.Fingerprint
+			s.Makespan = s.C.Now().Sub(start)
+			return nil
+		}
+	}
+	s.Makespan = s.C.Now().Sub(start)
+	return nil
+}
+
+// recoverFenced is the autonomic failover: advance the fencing epoch
+// FIRST (from this instant no writer of the old incarnation can commit),
+// then restart from the newest fenced checkpoint on a node the detector
+// considers healthy. Note what is absent: any check that the old node is
+// actually dead. If it is not, its agent will be told so by the storage
+// server (ErrFenced) and self-fence.
+func (s *Supervisor) recoverFenced() error {
+	epoch := s.Fence.Advance()
+	spare := s.Detector.PickHealthy(s.node)
+	if spare < 0 {
+		return errors.New("cluster: no unsuspected spare node")
+	}
+	var chain []*checkpoint.Image
+	if s.lastLeaf != "" {
+		src := s.C.Node(spare).Remote()
+		if src.Available() {
+			ch, err := checkpoint.LoadChain(src, nil, s.lastLeaf)
+			switch {
+			case err == nil:
+				chain = ch
+			case errors.Is(err, checkpoint.ErrCorrupt):
+				s.Counters.Inc("ckpt.torn", 1)
+			case errors.Is(err, storage.ErrNotFound):
+				s.Counters.Inc("ckpt.lost", 1)
+			}
+		}
+	}
+	s.Restarts++
+	if chain == nil {
+		s.FromScratch++
+		s.lastLeaf = ""
+		if err := s.start(spare); err != nil {
+			return err
+		}
+		s.armAgent(spare, s.pid, epoch)
+		return nil
+	}
+	m, err := s.mech(spare)
+	if err != nil {
+		return err
+	}
+	prepared := m.Prepare(s.Prog)
+	if _, err := s.C.Node(spare).K.Registry.Lookup(prepared.Name()); err != nil {
+		s.C.Node(spare).K.Registry.MustRegister(prepared)
+	}
+	p, err := m.Restart(s.C.Node(spare).K, chain, true)
+	if err != nil {
+		return err
+	}
+	s.node = spare
+	s.pid = p.PID
+	s.armAgent(spare, s.pid, epoch)
 	return nil
 }

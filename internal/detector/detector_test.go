@@ -1,0 +1,103 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func ms(n int) simtime.Time        { return simtime.Time(n) * simtime.Time(simtime.Millisecond) }
+func msDur(n int) simtime.Duration { return simtime.Duration(n) * simtime.Millisecond }
+func feed(d Detector, node, n int, period simtime.Duration, from simtime.Time) simtime.Time {
+	t := from
+	for i := 0; i < n; i++ {
+		t = t.Add(period)
+		d.Observe(node, t)
+	}
+	return t
+}
+
+func TestTimeoutDetectsSilenceAndRehabilitates(t *testing.T) {
+	d := NewTimeout(msDur(2))
+	d.Prime(0, 0)
+	last := feed(d, 0, 5, msDur(1), 0)
+	if d.Suspected(0, last.Add(msDur(1))) {
+		t.Fatal("suspected within the timeout")
+	}
+	if !d.Suspected(0, last.Add(msDur(3))) {
+		t.Fatal("not suspected after silence > After")
+	}
+	// A late heartbeat rehabilitates.
+	d.Observe(0, last.Add(msDur(4)))
+	if d.Suspected(0, last.Add(msDur(5))) {
+		t.Fatal("still suspected after heartbeat resumed")
+	}
+}
+
+func TestPhiAccruesWithSilence(t *testing.T) {
+	d := NewPhiAccrual(8, 64, msDur(1)/2)
+	d.Prime(0, 0)
+	last := feed(d, 0, 20, msDur(1), 0)
+	if phi := d.Phi(0, last.Add(msDur(1))); phi > 1 {
+		t.Fatalf("phi %v right after a heartbeat, want small", phi)
+	}
+	if !d.Suspected(0, last.Add(msDur(20))) {
+		t.Fatal("not suspected after 20 periods of silence")
+	}
+	// Phi is monotone in silence.
+	p1 := d.Phi(0, last.Add(msDur(5)))
+	p2 := d.Phi(0, last.Add(msDur(10)))
+	if p2 <= p1 {
+		t.Fatalf("phi not increasing with silence: %v then %v", p1, p2)
+	}
+	// Rehabilitation: heartbeats resume, suspicion drops.
+	last = feed(d, 0, 5, msDur(1), last.Add(msDur(20)))
+	if d.Suspected(0, last.Add(msDur(1))) {
+		t.Fatal("still suspected after heartbeats resumed")
+	}
+}
+
+// Jitter widens the estimated distribution, so the phi detector is more
+// patient on a noisy network than on a quiet one — the adaptivity a
+// fixed timeout lacks.
+func TestPhiAdaptsToJitter(t *testing.T) {
+	quiet := NewPhiAccrual(8, 64, 0)
+	noisy := NewPhiAccrual(8, 64, 0)
+	quiet.Prime(0, 0)
+	noisy.Prime(0, 0)
+	lastQ := feed(quiet, 0, 30, msDur(1), 0)
+	// Noisy stream alternates 1ms and 3ms gaps (same node, own detector).
+	tn := simtime.Time(0)
+	for i := 0; i < 30; i++ {
+		gap := msDur(1)
+		if i%2 == 1 {
+			gap = msDur(3)
+		}
+		tn = tn.Add(gap)
+		noisy.Observe(0, tn)
+	}
+	silence := msDur(4)
+	if qp, np := quiet.Phi(0, lastQ.Add(silence)), noisy.Phi(0, tn.Add(silence)); np >= qp {
+		t.Fatalf("noisy phi %v >= quiet phi %v after equal silence", np, qp)
+	}
+}
+
+func TestPhiIgnoresDuplicatesAndReorders(t *testing.T) {
+	d := NewPhiAccrual(8, 8, msDur(1)/2)
+	d.Prime(0, 0)
+	last := feed(d, 0, 10, msDur(1), 0)
+	before := d.Phi(0, last.Add(msDur(2)))
+	d.Observe(0, last)                // duplicate
+	d.Observe(0, last.Add(-msDur(1))) // reordered
+	if after := d.Phi(0, last.Add(msDur(2))); after != before {
+		t.Fatalf("duplicate/reordered heartbeat changed phi: %v -> %v", before, after)
+	}
+}
+
+func TestPhiWarmupIsNotSuspicious(t *testing.T) {
+	d := NewPhiAccrual(1, 64, msDur(1)/2)
+	d.Prime(0, 0)
+	if d.Suspected(0, ms(100)) {
+		t.Fatal("suspected with no samples (warm-up must be lenient)")
+	}
+}

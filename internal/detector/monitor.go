@@ -1,0 +1,223 @@
+package detector
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Transport is the slice of the cluster the monitor needs: heartbeat
+// carriage over the real (faulty) network plus step/lifecycle hooks.
+// *cluster.Cluster implements it; keeping it an interface here avoids an
+// import cycle and keeps the detector honest — it sees nodes only
+// through messages and hooks, never through the process table.
+type Transport interface {
+	Now() simtime.Time
+	NumNodes() int
+	// NodeAlive gates node-local code (a dead machine emits nothing) and
+	// feeds metrics ground truth; the suspicion verdict never reads it.
+	NodeAlive(i int) bool
+	Send(from, to int, payload any, size int) error
+	OnStep(fn func())
+	OnDeliver(i int, fn func(payload any))
+	Handler(i int) func(payload any)
+	OnNodeDown(fn func(node int))
+}
+
+// Event is one suspicion transition in the monitor's log.
+type Event struct {
+	Node int
+	At   simtime.Time
+	// Suspected true: the node crossed into suspicion; false: a
+	// heartbeat rehabilitated it.
+	Suspected bool
+	// FalsePositive marks a suspicion of a node that was in fact alive
+	// (ground truth, recorded for accounting only).
+	FalsePositive bool
+}
+
+// Config tunes a Monitor.
+type Config struct {
+	// Period is the heartbeat emission period (default 500µs).
+	Period simtime.Duration
+	// Observer is the node the detector runs on; heartbeats of every
+	// node are sent to it over the real network. The observer is the
+	// control-plane machine, so PickHealthy never offers it as a spare.
+	Observer int
+	// HBBytes is the heartbeat payload size for transfer-cost modeling
+	// (default 64).
+	HBBytes int
+}
+
+// Monitor wires heartbeat emission, the network, and a Detector into a
+// per-node suspicion service, with honest accounting: detection latency
+// against ground-truth failure times, false positives, false negatives
+// (failures healed before ever being suspected), and wasted restarts.
+type Monitor struct {
+	T   Transport
+	D   Detector
+	Cfg Config
+	// Counters receives det.* counters; Latency accumulates detection
+	// latency (simulated milliseconds) for true failures.
+	Counters *trace.Counters
+	Latency  *trace.Series
+
+	seq       []uint64
+	nextEmit  []simtime.Time
+	suspected []bool
+	lastSent  []simtime.Time // latest SentAt over received heartbeats
+	lastDown  []simtime.Time // ground truth: most recent down event (metrics only)
+	credited  []bool         // the outage at lastDown has been classified
+	falseSus  []bool         // current suspicion was classified false
+	events    []Event
+}
+
+// NewMonitor builds a monitor, installs its heartbeat handler on the
+// observer (chaining to any existing handler) and its emission/eval pump
+// on the cluster step, and primes the detector at the current time.
+func NewMonitor(t Transport, d Detector, cfg Config, ctr *trace.Counters) *Monitor {
+	if cfg.Period <= 0 {
+		cfg.Period = 500 * simtime.Microsecond
+	}
+	if cfg.HBBytes <= 0 {
+		cfg.HBBytes = 64
+	}
+	if ctr == nil {
+		ctr = trace.NewCounters()
+	}
+	n := t.NumNodes()
+	m := &Monitor{
+		T: t, D: d, Cfg: cfg, Counters: ctr, Latency: &trace.Series{},
+		seq:       make([]uint64, n),
+		nextEmit:  make([]simtime.Time, n),
+		suspected: make([]bool, n),
+		lastSent:  make([]simtime.Time, n),
+		lastDown:  make([]simtime.Time, n),
+		credited:  make([]bool, n),
+		falseSus:  make([]bool, n),
+	}
+	now := t.Now()
+	for i := 0; i < n; i++ {
+		d.Prime(i, now)
+		m.nextEmit[i] = now.Add(cfg.Period)
+	}
+	prev := t.Handler(cfg.Observer)
+	t.OnDeliver(cfg.Observer, func(payload any) {
+		if hb, ok := payload.(Heartbeat); ok {
+			m.onHeartbeat(hb)
+			return
+		}
+		if prev != nil {
+			prev(payload)
+		}
+	})
+	t.OnNodeDown(func(node int) {
+		m.lastDown[node] = t.Now()
+		m.credited[node] = false
+	})
+	t.OnStep(m.pump)
+	return m
+}
+
+// outageInSilence reports whether node's current heartbeat silence
+// contains an uncredited real outage: the node went down after the last
+// heartbeat it managed to SEND, so the silence is genuinely
+// failure-caused (whether or not the node has since rebooted).
+// Comparing against send time, not arrival, keeps in-flight stragglers
+// emitted just before death from masking the outage. Ground truth,
+// metrics only.
+func (m *Monitor) outageInSilence(node int) bool {
+	return m.lastDown[node] > m.lastSent[node] && !m.credited[node]
+}
+
+// onHeartbeat feeds an arrival to the detector.
+func (m *Monitor) onHeartbeat(hb Heartbeat) {
+	m.Counters.Inc("det.heartbeats", 1)
+	if m.outageInSilence(hb.Node) && !m.suspected[hb.Node] && hb.SentAt > m.lastDown[hb.Node] {
+		// A post-reboot heartbeat arrived before the outage was ever
+		// suspected: the failure came and went undetected — a false
+		// negative.
+		m.Counters.Inc("det.missed", 1)
+		m.credited[hb.Node] = true
+	}
+	if hb.SentAt > m.lastSent[hb.Node] {
+		m.lastSent[hb.Node] = hb.SentAt
+	}
+	m.D.Observe(hb.Node, m.T.Now())
+}
+
+// pump runs once per cluster step: emit due heartbeats from live nodes,
+// then re-evaluate every node's suspicion.
+func (m *Monitor) pump() {
+	now := m.T.Now()
+	for i := range m.nextEmit {
+		// Emission is node-local code: it runs only while the machine
+		// does. A dead node falls silent — that silence is the signal.
+		for m.T.NodeAlive(i) && now >= m.nextEmit[i] {
+			m.seq[i]++
+			_ = m.T.Send(i, m.Cfg.Observer, Heartbeat{Node: i, Seq: m.seq[i], SentAt: now}, m.Cfg.HBBytes)
+			m.nextEmit[i] = m.nextEmit[i].Add(m.Cfg.Period)
+		}
+		if !m.T.NodeAlive(i) && now >= m.nextEmit[i] {
+			// Keep the schedule moving so a rebooted node resumes at the
+			// period, not with a burst of back heartbeats.
+			m.nextEmit[i] = now.Add(m.Cfg.Period)
+		}
+	}
+	for i := range m.suspected {
+		s := m.D.Suspected(i, now)
+		if s == m.suspected[i] {
+			continue
+		}
+		m.suspected[i] = s
+		if s {
+			m.Counters.Inc("det.suspicions", 1)
+			// Classification keys on whether the silence that triggered
+			// suspicion was caused by a real outage — not on whether the
+			// node happens to be back up at this instant (a repair faster
+			// than the detector must not turn a true positive false).
+			fp := !m.outageInSilence(i)
+			m.falseSus[i] = fp
+			if fp {
+				m.Counters.Inc("det.false_positives", 1)
+			} else {
+				m.Counters.Inc("det.detections", 1)
+				m.credited[i] = true
+				m.Latency.Add(now.Sub(m.lastDown[i]).Millis())
+			}
+			m.events = append(m.events, Event{Node: i, At: now, Suspected: true, FalsePositive: fp})
+		} else {
+			m.Counters.Inc("det.recoveries", 1)
+			m.events = append(m.events, Event{Node: i, At: now})
+		}
+	}
+}
+
+// Suspected reports the current verdict for node — derived purely from
+// the heartbeat stream (this is the supervisor's only failure signal).
+func (m *Monitor) Suspected(node int) bool { return m.suspected[node] }
+
+// PickHealthy returns the lowest-numbered node that is neither except,
+// the observer, nor currently suspected; -1 when none qualifies.
+func (m *Monitor) PickHealthy(except int) int {
+	for i := 0; i < m.T.NumNodes(); i++ {
+		if i == except || i == m.Cfg.Observer || m.suspected[i] {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// Failover records that the supervisor acted on a suspicion of node —
+// restarted the job elsewhere. If the suspicion was a false positive the
+// job was still running and the restart was wasted work (counted
+// det.wasted_restarts).
+func (m *Monitor) Failover(node int) {
+	m.Counters.Inc("det.failovers", 1)
+	if m.falseSus[node] {
+		m.Counters.Inc("det.wasted_restarts", 1)
+	}
+}
+
+// Events returns the suspicion transition log.
+func (m *Monitor) Events() []Event { return m.events }

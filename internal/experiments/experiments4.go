@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/detector"
+	"repro/internal/mechanism"
+	"repro/internal/simos/kernel"
+	"repro/internal/simtime"
+	"repro/internal/syslevel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// e12Detectors is the detector sweep: a ground-truth oracle baseline
+// (the pre-autonomic supervisor), fixed timeouts at two settings, and
+// the phi-accrual detector at three thresholds.
+var e12Detectors = []string{"oracle", "timeout-1ms", "timeout-3ms", "phi-4", "phi-8", "phi-12"}
+
+// E12Detection measures message-based failure detection end to end: the
+// same job, failure schedule, and network run under every detector, once
+// per loss rate and once under a 10ms control-plane partition of the
+// job's node (the node stays alive — every suspicion of it is false).
+// The oracle rows are the unreachable baseline: they read simulator
+// ground truth, so loss and partitions cannot touch them. Every
+// autonomic row must get safety from epoch fencing instead — the
+// double-commit column is the proof, and it must stay 0.
+func E12Detection(losses []float64) *trace.Table {
+	tb := trace.NewTable(
+		"E12 — failure detection vs network faults: latency, false positives, and fenced split brains",
+		"detector", "scenario", "completed", "makespan(ms)", "ckpts", "restarts",
+		"wasted", "det-lat(ms)", "false-pos", "fenced", "dbl-commit")
+	for _, loss := range losses {
+		for _, det := range e12Detectors {
+			tb.Row(e12Run(det, loss, false)...)
+		}
+	}
+	for _, det := range e12Detectors {
+		tb.Row(e12Run(det, 0, true)...)
+	}
+	tb.Note("identical seeds per row: every divergence is the detector's doing")
+	tb.Note("wasted = failovers of nodes that were in fact alive; det-lat = mean true-failure detection latency")
+	tb.Note("fenced = stale-epoch publishes rejected by the server; dbl-commit = stale publishes that landed (must be 0)")
+	tb.Note("the oracle baseline is unrealizable: it reads liveness no distributed system can observe")
+	return tb
+}
+
+// e12Run drives one supervised job under one detector and one network
+// scenario and returns the table row.
+func e12Run(kind string, loss float64, partition bool) []any {
+	prog := workload.Sparse{MiB: 1, WriteFrac: 0.2, Seed: 12}
+	reg := kernel.NewRegistry()
+	reg.MustRegister(prog)
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 12, KernelCfg: kernel.DefaultConfig("")},
+		costmodel.Default2005(), reg)
+	np := c.EnableNetFaults(cluster.NetFaultConfig{Loss: loss, DelayJitter: 200 * simtime.Microsecond})
+	if partition {
+		cut := false
+		c.OnStep(func() {
+			if !cut && c.Now() >= simtime.Time(7*simtime.Millisecond) {
+				cut = true
+				np.Partition("island", 0)
+			}
+			if cut && c.Now() >= simtime.Time(17*simtime.Millisecond) {
+				np.Heal("island")
+			}
+		})
+	}
+
+	period := 200 * simtime.Microsecond
+	var d detector.Detector
+	switch kind {
+	case "timeout-1ms":
+		d = detector.NewTimeout(simtime.Millisecond)
+	case "timeout-3ms":
+		d = detector.NewTimeout(3 * simtime.Millisecond)
+	case "phi-4":
+		d = detector.NewPhiAccrual(4, 64, period/2)
+	case "phi-8":
+		d = detector.NewPhiAccrual(8, 64, period/2)
+	case "phi-12":
+		d = detector.NewPhiAccrual(12, 64, period/2)
+	}
+
+	sup := &cluster.Supervisor{
+		C:          c,
+		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
+		Prog:       prog,
+		Iterations: 300,
+		Interval:   3 * simtime.Millisecond,
+	}
+	var mon *detector.Monitor
+	if d != nil {
+		mon = detector.NewMonitor(c, d, detector.Config{Period: period, Observer: 3}, c.Counters)
+		sup.Detector = mon
+		sup.ControlNode = 3
+	}
+	// Real (transient) failures on the three worker nodes; the observer
+	// stays up — a failing control plane is a different experiment.
+	inj := cluster.NewInjector(cluster.Exponential{Mean: 40 * simtime.Millisecond},
+		3*simtime.Millisecond, 33, 3)
+	c.SetInjector(inj)
+
+	err := sup.Run(5 * simtime.Second)
+	completed := err == nil && sup.Completed
+
+	scenario := fmt.Sprintf("loss %.0f%%", loss*100)
+	if partition {
+		scenario = "partition 10ms"
+	}
+	lat := 0.0
+	if mon != nil && mon.Latency.N() > 0 {
+		lat = mon.Latency.Mean()
+	}
+	ctr := c.Counters
+	return []any{
+		kind, scenario, completed, sup.Makespan.Millis(),
+		sup.Checkpoints, sup.Restarts,
+		ctr.Get("det.wasted_restarts"), lat,
+		ctr.Get("det.false_positives"),
+		ctr.Get("fence.rejected"), ctr.Get("fence.double_commits"),
+	}
+}

@@ -266,3 +266,50 @@ func TestE10Runs(t *testing.T) {
 		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
 	}
 }
+
+func TestE12PhiUnderLossIsSafeAndFalsePositiveRecoveryCompletes(t *testing.T) {
+	tb := E12Detection([]float64{0.05})
+	if tb.NumRows() != 12 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	find := func(det, scenario string) int {
+		for r := 0; r < tb.NumRows(); r++ {
+			if tb.Cell(r, 0) == det && tb.Cell(r, 1) == scenario {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing:\n%s", det, scenario, tb)
+		return -1
+	}
+	// Split-brain safety is unconditional: no row may leak a double
+	// commit, fenced or not-yet-fenced.
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cell(r, 10) != "0" {
+			t.Fatalf("row %d leaked a double commit:\n%s", r, tb)
+		}
+	}
+	// Phi-accrual under 5% heartbeat loss: completes, zero split brains.
+	phi := find("phi-8", "loss 5%")
+	if tb.Cell(phi, 2) != "true" {
+		t.Fatalf("phi-8 under loss did not complete:\n%s", tb)
+	}
+	// The partition scenario is one long false positive for the job's
+	// node: the failover must be wasted-but-safe AND the job must still
+	// finish — the demonstrated false-positive recovery.
+	part := find("phi-8", "partition 10ms")
+	if tb.Cell(part, 2) != "true" {
+		t.Fatalf("partition recovery did not complete:\n%s", tb)
+	}
+	if tb.Cell(part, 8) == "0" {
+		t.Fatalf("partition produced no false positive:\n%s", tb)
+	}
+	if tb.Cell(part, 9) == "0" {
+		t.Fatalf("stale incarnation never hit the fence:\n%s", tb)
+	}
+	// The oracle baseline is blind to the partition: same makespan as its
+	// fault-free row would have; at minimum it must not restart for it.
+	oracle := find("oracle", "partition 10ms")
+	if tb.Cell(oracle, 8) != "0" || tb.Cell(oracle, 6) != tb.Cell(find("oracle", "loss 5%"), 6) {
+		t.Fatalf("oracle baseline affected by control-plane faults:\n%s", tb)
+	}
+}

@@ -1,0 +1,87 @@
+// Epoch fencing: the storage-side half of split-brain protection. When
+// an autonomic supervisor suspects a node and restarts the job
+// elsewhere, the suspicion may be wrong — the "dead" incarnation can
+// still be running and still trying to publish checkpoints. Generation
+// fencing (the lease-recovery idea of GFS/HDFS) turns that split brain
+// into a counted, recoverable event: every writer holds the epoch it was
+// started under, the supervisor advances the domain epoch at each
+// failover *before* starting the successor, and Publish rejects any
+// writer whose epoch is stale. A stale incarnation therefore cannot
+// replace a committed image, no matter how torn the control plane is —
+// the storage server is the one authority both sides can still reach.
+
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// ErrFenced reports a publish attempt by a stale-epoch writer. The
+// staging object is discarded server-side; the committed image under the
+// final name is untouched. A writer receiving it must consider itself
+// superseded (self-fence) and stop.
+var ErrFenced = errors.New("storage: writer fenced off (stale epoch)")
+
+// FenceDomain is the authoritative epoch for one fencing scope (one
+// job). It lives logically on the checkpoint server: advancing it is the
+// supervisor's failover barrier, and comparing against it is how Publish
+// tells a live incarnation from a zombie one.
+type FenceDomain struct {
+	name  string
+	epoch uint64
+	ctr   *trace.Counters
+}
+
+// NewFenceDomain creates a domain at epoch 0 (no writer admitted yet);
+// fence.* counters land in ctr (created when nil).
+func NewFenceDomain(name string, ctr *trace.Counters) *FenceDomain {
+	if ctr == nil {
+		ctr = trace.NewCounters()
+	}
+	return &FenceDomain{name: name, ctr: ctr}
+}
+
+// Advance bumps the epoch and returns the new value. Everything
+// published under earlier epochs keeps its committed images; every
+// writer still holding an earlier epoch is fenced off from here on.
+func (d *FenceDomain) Advance() uint64 {
+	d.epoch++
+	d.ctr.Inc("fence.epochs", 1)
+	return d.epoch
+}
+
+// Epoch returns the current epoch.
+func (d *FenceDomain) Epoch() uint64 { return d.epoch }
+
+// Counters returns the domain's counter set.
+func (d *FenceDomain) Counters() *trace.Counters { return d.ctr }
+
+// fencedTarget wraps a Target so Publish enforces the domain epoch.
+type fencedTarget struct {
+	Target
+	dom   *FenceDomain
+	epoch uint64
+}
+
+// FencedAt wraps t for a writer admitted at the given epoch of dom.
+// Reads, creates, and writes pass through (a stale writer can stage all
+// the bytes it wants); only Publish — the commit point — is guarded.
+func FencedAt(t Target, dom *FenceDomain, epoch uint64) Target {
+	return fencedTarget{Target: t, dom: dom, epoch: epoch}
+}
+
+// Publish implements Target: the rename happens only if the writer's
+// epoch is still current. A stale writer's staging object is deleted
+// (the server GCs debris of fenced incarnations) and the attempt is
+// counted under fence.rejected.
+func (f fencedTarget) Publish(staging, final string, env *Env) error {
+	if f.epoch < f.dom.Epoch() {
+		f.dom.ctr.Inc("fence.rejected", 1)
+		_ = f.Target.Delete(staging)
+		return fmt.Errorf("%w: %s epoch %d, current %d", ErrFenced, f.dom.name, f.epoch, f.dom.Epoch())
+	}
+	return f.Target.Publish(staging, final, env)
+}

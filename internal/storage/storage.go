@@ -177,6 +177,10 @@ func (l *Local) faultsOf() *FaultPolicy { return l.faults }
 
 func (l *Local) tearObject(object string, keepFrac float64) { l.store.tear(object, keepFrac) }
 
+// Wipe discards all contents — the blank disk of a replacement machine
+// after a permanent node failure (§4.1's local-storage caveat).
+func (l *Local) Wipe() { l.store = newObjectStore() }
+
 // Name implements Target.
 func (l *Local) Name() string { return l.name }
 

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Series accumulates scalar observations with online mean/min/max.
@@ -172,22 +173,36 @@ func (t *Table) Cell(row, col int) string {
 	return t.rows[row][col]
 }
 
-// Counters is an ordered string→int64 counter map.
+// Counters is an ordered string→int64 counter map. It is safe for
+// concurrent use: one counter set is shared across the supervisor,
+// storage, network, and detector paths, and parallel tests (and the race
+// detector) exercise it from multiple goroutines.
 type Counters struct {
-	m map[string]int64
+	mu sync.Mutex
+	m  map[string]int64
 }
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
 
 // Inc adds delta to the named counter.
-func (c *Counters) Inc(name string, delta int64) { c.m[name] += delta }
+func (c *Counters) Inc(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
 
 // Get returns a counter's value.
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
 
 // Names returns the counter names sorted.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, 0, len(c.m))
 	for k := range c.m {
 		out = append(out, k)
@@ -200,7 +215,7 @@ func (c *Counters) Names() []string {
 func (c *Counters) String() string {
 	var b strings.Builder
 	for _, n := range c.Names() {
-		fmt.Fprintf(&b, "%s=%d\n", n, c.m[n])
+		fmt.Fprintf(&b, "%s=%d\n", n, c.Get(n))
 	}
 	return b.String()
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -114,5 +115,24 @@ func TestQuickSeriesBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc("shared", 1)
+				_ = c.Get("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
 	}
 }
