@@ -1,11 +1,13 @@
 # Developer entry points. `make check` is the pre-PR gate: it runs the
-# tier-1 build/test pass plus vet and the race detector (the cluster and
+# tier-1 build/test pass plus vet, the race detector (the cluster and
 # storage layers are concurrency-sensitive; -race is what catches a bad
-# interleaving before a reviewer does).
+# interleaving before a reviewer does), and a short run of each fuzz
+# target so a decoder regression cannot merge unfuzzed.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test bench check vet race
+.PHONY: all build test bench check vet race fuzz chaos
 
 all: build test
 
@@ -24,4 +26,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# Short, budgeted runs of every fuzz target (Go runs one -fuzz target per
+# invocation). The nightly CI job runs these longer plus a 10k-seed chaos
+# sweep.
+fuzz:
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzImageDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzImageRoundTrip$$' -fuzztime $(FUZZTIME)
+
+# The nightly chaos sweep (10k seeds); failing seeds print shrunken
+# chaos.Replay reproducer lines and fail the target.
+chaos:
+	$(GO) run ./cmd/crsurvey chaos -seeds 10000
+
+check: build vet race fuzz

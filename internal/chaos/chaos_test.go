@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sweepSeeds is the tier-1 sweep width. The nightly CI job runs 10k
+// seeds via `crsurvey chaos`; this keeps every `go test` run honest.
+const sweepSeeds = 200
+
+// TestChaosSweep runs the generator across sweepSeeds consecutive seeds
+// and demands zero invariant violations: with fencing on and atomic
+// commit in place, no composition of storage faults, network chaos,
+// partitions, and node failures the generator emits may lose an acked
+// checkpoint, double-commit, corrupt restored state, consult the
+// oracle, or wedge recovery.
+func TestChaosSweep(t *testing.T) {
+	for seed := int64(1); seed <= sweepSeeds; seed++ {
+		r := Run(Generate(seed))
+		if len(r.Violations) > 0 {
+			t.Errorf("seed %d: %s", seed, r.Summary())
+			for _, v := range r.Violations {
+				t.Errorf("  %s", v)
+			}
+			t.Errorf("  reproduce: %s", r.Spec.ReplayLine())
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the generator itself: one seed, one
+// spec.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate not deterministic:\n%s\n%s", seed, a.MarshalLine(), b.MarshalLine())
+		}
+	}
+}
+
+// TestSpecRoundTrip checks the reproducer exchange format: a spec must
+// survive MarshalLine → ParseSpec unchanged, or printed replay lines
+// would not rerun the scenario they came from.
+func TestSpecRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		sp := Generate(seed)
+		got, err := ParseSpec(sp.MarshalLine())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(sp, got) {
+			t.Fatalf("seed %d: round trip changed spec:\n in %s\nout %s", seed, sp.MarshalLine(), got.MarshalLine())
+		}
+	}
+}
+
+// TestRunDeterministic double-runs a fenced scenario and requires equal
+// digests — the foundation the whole harness stands on.
+func TestRunDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		if ok, a, b := Confirm(Generate(seed)); !ok {
+			t.Fatalf("seed %d nondeterministic: digest %#x vs %#x\n--- first ---\n%s\n--- second ---\n%s",
+				seed, a.Digest, b.Digest, a.EventLog, b.EventLog)
+		}
+	}
+}
+
+// TestBrokenFencingCaught is the harness's own acceptance test: disable
+// epoch fencing (the deliberately broken build), sweep seeds until the
+// double-commit checker fires, confirm the violation is deterministic,
+// shrink it to a minimal reproducer, and replay the printed line.
+func TestBrokenFencingCaught(t *testing.T) {
+	var sp *Spec
+	for seed := int64(1); seed <= 60; seed++ {
+		cand := Generate(seed)
+		cand.NoFencing = true
+		if Run(cand).Violated("double-commit") {
+			sp = cand
+			break
+		}
+	}
+	if sp == nil {
+		t.Fatal("no seed in [1,60] produced a double commit with fencing disabled")
+	}
+
+	ok, a, b := Confirm(sp)
+	if !ok {
+		t.Fatalf("violation did not confirm: digest %#x vs %#x", a.Digest, b.Digest)
+	}
+	if !a.Violated("double-commit") {
+		t.Fatal("confirmation run lost the violation")
+	}
+
+	min, evals := Shrink(sp, "double-commit")
+	if min.Size() > sp.Size() {
+		t.Fatalf("shrink grew the spec: %d -> %d", sp.Size(), min.Size())
+	}
+	t.Logf("shrunk size %d -> %d in %d runs", sp.Size(), min.Size(), evals)
+	t.Logf("reproduce: %s", min.ReplayLine())
+
+	r, err := Replay(min.Seed, min.MarshalLine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Violated("double-commit") {
+		t.Fatalf("shrunken reproducer no longer violates: %s", r.Summary())
+	}
+}
+
+// TestReplayPinnedReproducer replays a shrunken reproducer that
+// TestBrokenFencingCaught once printed — the exact workflow a failing
+// nightly seed turns into a regression test. The spec is a 3-node
+// cluster where the sole discrete fault is a partition islanding the
+// worker: with fencing off, the isolated incarnation's stale publish
+// lands after the spare took over.
+func TestReplayPinnedReproducer(t *testing.T) {
+	r, err := Replay(5, `{"seed":5,"nodes":3,"mib":1,"wf":0.2558857741681152,"wseed":33177,"iters":36,"interval":5000000,"detector":"phi-8","hb":264000,"storage":{},"partitions":[{"at":3597512,"heal":15597512,"side":[0]}],"quiesce":17597512,"budget":3017597512,"nofence":true}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Violated("double-commit") {
+		t.Fatalf("pinned reproducer no longer violates: %s", r.Summary())
+	}
+}
+
+// TestReplayEmptySpecRegenerates checks the seed-only replay path.
+func TestReplayEmptySpecRegenerates(t *testing.T) {
+	r, err := Replay(7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Spec, Generate(7)) {
+		t.Fatal("Replay(seed, \"\") did not regenerate the seed's spec")
+	}
+	if len(r.Violations) > 0 {
+		t.Fatalf("seed 7 violates: %s", r.Summary())
+	}
+}
+
+// TestSpecValidation rejects specs the executor cannot run.
+func TestSpecValidation(t *testing.T) {
+	base := Generate(1)
+	for name, mutate := range map[string]func(*Spec){
+		"too-few-nodes":      func(s *Spec) { s.Nodes = 2 },
+		"empty-workload":     func(s *Spec) { s.Iterations = 0 },
+		"zero-interval":      func(s *Spec) { s.Interval = 0 },
+		"zero-heartbeat":     func(s *Spec) { s.HBPeriod = 0 },
+		"budget-lt-quiesce":  func(s *Spec) { s.Budget = s.Quiesce },
+		"fail-observer":      func(s *Spec) { s.Failures = []FailEvent{{At: 1, Node: s.observer()}} },
+		"partition-observer": func(s *Spec) { s.Partitions = []PartitionEvent{{At: 1, Heal: 2, Side: []int{s.observer()}}} },
+		"unhealed-partition": func(s *Spec) { s.Partitions = []PartitionEvent{{At: 5, Heal: 5, Side: []int{0}}} },
+	} {
+		sp := base.Clone()
+		mutate(sp)
+		if sp.validate() == nil {
+			t.Errorf("%s: validate accepted a bad spec", name)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"repro/internal/simtime"
+)
+
+// Generation bounds. The generator is deliberately conservative where an
+// unbounded draw would make a scenario unwinnable rather than merely
+// hostile: the observer never fails, at most one worker dies permanently
+// (and only when a third worker exists to fail over to), every partition
+// heals, and all discrete faults land before the quiesce point so the
+// bounded-fault liveness invariant is meaningful.
+const (
+	genMinNodes = 3
+	genMaxNodes = 6
+	genDrain    = 3 * simtime.Second // post-quiesce completion allowance
+)
+
+// Generate derives a complete scenario from one master seed. Equal seeds
+// yield equal specs; all randomness is confined to this function.
+func Generate(seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	sp := &Spec{
+		Seed:       seed,
+		Nodes:      genMinNodes + rng.Intn(genMaxNodes-genMinNodes+1),
+		MiB:        1,
+		WriteFrac:  0.1 + 0.3*rng.Float64(),
+		WorkSeed:   int64(rng.Intn(1 << 16)),
+		Iterations: 20 + uint64(rng.Intn(41)), // 20..60
+		Interval:   simtime.Duration(2+rng.Intn(4)) * simtime.Millisecond,
+		Detector:   detectorNames[rng.Intn(len(detectorNames))],
+		HBPeriod:   simtime.Duration(150+rng.Intn(151)) * simtime.Microsecond,
+	}
+
+	// Network faults: loss and duplication are per-message, jitter is the
+	// uniform extra delay bound. Kept below the point where heartbeats
+	// stop carrying information at all.
+	if rng.Float64() < 0.7 {
+		sp.Loss = 0.15 * rng.Float64()
+	}
+	if rng.Float64() < 0.3 {
+		sp.Dup = 0.05 * rng.Float64()
+	}
+	if rng.Float64() < 0.7 {
+		sp.Jitter = simtime.Duration(rng.Intn(300)) * simtime.Microsecond
+	}
+
+	// Storage faults: each knob independently present or absent.
+	if rng.Float64() < 0.4 {
+		sp.Storage.WriteFault = 0.15 * rng.Float64()
+	}
+	if rng.Float64() < 0.2 {
+		sp.Storage.OutageFrac = 0.5 * rng.Float64()
+	}
+	if rng.Float64() < 0.3 {
+		sp.Storage.SilentTear = 0.2 * rng.Float64()
+	}
+	if rng.Float64() < 0.3 {
+		sp.Storage.PublishFault = 0.2 * rng.Float64()
+	}
+
+	// Discrete fault window: everything fires inside [2ms, quiesce).
+	sp.Quiesce = simtime.Duration(20+rng.Intn(21)) * simtime.Millisecond
+	window := int64(sp.Quiesce - 4*simtime.Millisecond)
+	at := func() simtime.Duration {
+		return 2*simtime.Millisecond + simtime.Duration(rng.Int63n(window))
+	}
+
+	// Node failures: up to 2 per scenario on workers. One may be
+	// permanent when at least three workers exist (two must survive for
+	// failover to have somewhere to go).
+	workers := sp.workers()
+	permBudget := 0
+	if workers >= 3 {
+		permBudget = 1
+	}
+	nFail := rng.Intn(3)
+	for i := 0; i < nFail; i++ {
+		ev := FailEvent{
+			At:     at(),
+			Node:   rng.Intn(workers),
+			Repair: simtime.Duration(1+rng.Intn(5)) * simtime.Millisecond,
+		}
+		if permBudget > 0 && rng.Float64() < 0.25 {
+			ev.Permanent = true
+			ev.Repair = 0
+			permBudget--
+		}
+		sp.Failures = append(sp.Failures, ev)
+	}
+
+	// Partitions: up to 2, each healing within the fault window. The
+	// first is biased toward isolating node 0 — where the job starts —
+	// because a control-plane cut of the running node is the split-brain
+	// scenario fencing exists for.
+	nPart := rng.Intn(3)
+	for i := 0; i < nPart; i++ {
+		start := at()
+		p := PartitionEvent{
+			At:   start,
+			Heal: start + simtime.Duration(3+rng.Intn(10))*simtime.Millisecond,
+		}
+		if i == 0 && rng.Float64() < 0.8 {
+			p.Side = []int{0}
+		} else {
+			p.Side = []int{rng.Intn(workers)}
+		}
+		if p.Heal > sp.Quiesce {
+			p.Heal = sp.Quiesce
+		}
+		sp.Partitions = append(sp.Partitions, p)
+	}
+
+	sp.Budget = sp.Quiesce + genDrain
+	return sp
+}

@@ -1,0 +1,197 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+)
+
+// Violation is one invariant breach observed in a run.
+type Violation struct {
+	// Invariant names the checker that fired (stable identifiers: the
+	// sweep tables and shrinker key on them).
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Audit is the end-of-run evidence handed to each checker's Finish: the
+// harness MAY read simulator ground truth here (it is the test oracle,
+// not the decision path under test).
+type Audit struct {
+	Spec *Spec
+	Sup  *cluster.Supervisor
+	C    *cluster.Cluster
+	// Want is the reference fingerprint from an undisturbed run of the
+	// same workload.
+	Want uint64
+	// ReadObject reads an object from the checkpoint server.
+	ReadObject func(name string) ([]byte, error)
+	// Aborted is the supervisor's terminal error, if it gave up.
+	Aborted error
+}
+
+// Checker observes orchestration events during a run and audits the end
+// state. Implementations must be deterministic.
+type Checker interface {
+	// Name is the stable invariant identifier.
+	Name() string
+	// Event is called for every orchestration event as it happens.
+	Event(ev cluster.Event)
+	// Finish audits the end state and returns any violations.
+	Finish(a *Audit) []Violation
+}
+
+// DefaultCheckers returns the full invariant catalog, fresh state each
+// call (checkers accumulate per-run observations).
+func DefaultCheckers() []Checker {
+	return []Checker{
+		&doubleCommitChecker{},
+		&ackedDurabilityChecker{},
+		&digestChecker{},
+		&oracleChecker{},
+		&livenessChecker{},
+	}
+}
+
+// --- no double commit past a fence epoch ---
+
+// doubleCommitChecker fires when a stale-epoch incarnation's publish
+// lands. With fencing enabled this is structurally impossible; with
+// fencing disabled (the broken-build contrast) this is the checker that
+// must catch it.
+type doubleCommitChecker struct {
+	stale []cluster.Event
+}
+
+func (c *doubleCommitChecker) Name() string { return "double-commit" }
+
+func (c *doubleCommitChecker) Event(ev cluster.Event) {
+	if ev.Kind == cluster.EvStaleCommit {
+		c.stale = append(c.stale, ev)
+	}
+}
+
+func (c *doubleCommitChecker) Finish(a *Audit) []Violation {
+	n := a.C.Counters.Get("fence.double_commits")
+	if len(c.stale) == 0 && n == 0 {
+		return nil
+	}
+	first := ""
+	if len(c.stale) > 0 {
+		first = " first: " + c.stale[0].String()
+	}
+	return []Violation{{Invariant: c.Name(), Detail: fmt.Sprintf(
+		"%d stale-epoch publishes landed (fence.double_commits=%d)%s", len(c.stale), n, first)}}
+}
+
+// --- no acknowledged checkpoint lost after publish ---
+
+// ackedDurabilityChecker records every checkpoint the orchestration
+// layer acknowledged (EvAck = PutAtomic published and the supervisor's
+// recovery pointer updated) and verifies at the end that each name still
+// holds a decodable image on the server. Atomic commit makes replacement
+// the only legal mutation — a later incarnation may overwrite a name
+// with a newer complete image, but a torn, truncated, or vanished object
+// under an acked name is a violation. The ckpt.torn / ckpt.lost counters
+// catch the same breach when recovery trips over it mid-run.
+type ackedDurabilityChecker struct {
+	acked []string
+	seen  map[string]bool
+}
+
+func (c *ackedDurabilityChecker) Name() string { return "acked-durability" }
+
+func (c *ackedDurabilityChecker) Event(ev cluster.Event) {
+	if ev.Kind != cluster.EvAck {
+		return
+	}
+	if c.seen == nil {
+		c.seen = make(map[string]bool)
+	}
+	if !c.seen[ev.Object] {
+		c.seen[ev.Object] = true
+		c.acked = append(c.acked, ev.Object)
+	}
+}
+
+func (c *ackedDurabilityChecker) Finish(a *Audit) []Violation {
+	var out []Violation
+	if torn := a.C.Counters.Get("ckpt.torn"); torn > 0 {
+		out = append(out, Violation{c.Name(), fmt.Sprintf("recovery read %d torn committed image(s)", torn)})
+	}
+	if lost := a.C.Counters.Get("ckpt.lost"); lost > 0 {
+		out = append(out, Violation{c.Name(), fmt.Sprintf("%d committed image(s) vanished", lost)})
+	}
+	for _, name := range c.acked {
+		data, err := a.ReadObject(name)
+		if err != nil {
+			out = append(out, Violation{c.Name(), fmt.Sprintf("acked %s unreadable: %v", name, err)})
+			continue
+		}
+		if _, err := checkpoint.Decode(data); err != nil {
+			out = append(out, Violation{c.Name(), fmt.Sprintf("acked %s corrupt: %v", name, err)})
+		}
+	}
+	return out
+}
+
+// --- restored state digest matches the reference ---
+
+// digestChecker compares the completed job's result fingerprint against
+// an undisturbed single-node run of the same workload: every restore
+// along the way must have reconstructed the exact pre-failure process
+// state for the digests to agree.
+type digestChecker struct{}
+
+func (digestChecker) Name() string           { return "state-digest" }
+func (digestChecker) Event(ev cluster.Event) {}
+func (c digestChecker) Finish(a *Audit) []Violation {
+	if !a.Sup.Completed {
+		return nil // liveness is a separate invariant
+	}
+	if a.Sup.Fingerprint != a.Want {
+		return []Violation{{c.Name(), fmt.Sprintf(
+			"fingerprint %#x != reference %#x after %d restart(s)", a.Sup.Fingerprint, a.Want, a.Sup.Restarts)}}
+	}
+	return nil
+}
+
+// --- no oracle reads on the decision path ---
+
+// oracleChecker asserts the autonomic supervisor consulted nothing a
+// real distributed system could not observe.
+type oracleChecker struct{}
+
+func (oracleChecker) Name() string           { return "no-oracle" }
+func (oracleChecker) Event(ev cluster.Event) {}
+func (c oracleChecker) Finish(a *Audit) []Violation {
+	if n := a.Sup.OracleReads; n != 0 {
+		return []Violation{{c.Name(), fmt.Sprintf("supervisor read simulator ground truth %d time(s)", n)}}
+	}
+	return nil
+}
+
+// --- bounded-fault liveness ---
+
+// livenessChecker demands the job finish once the discrete faults stop:
+// the executor keeps relaunching the supervisor until the budget
+// (quiesce + drain) runs out, so an incomplete job means recovery wedged
+// rather than merely lost the race.
+type livenessChecker struct{}
+
+func (livenessChecker) Name() string           { return "liveness" }
+func (livenessChecker) Event(ev cluster.Event) {}
+func (c livenessChecker) Finish(a *Audit) []Violation {
+	if a.Sup.Completed {
+		return nil
+	}
+	detail := fmt.Sprintf("job incomplete at budget %v (quiesce %v, ckpts=%d restarts=%d scratch=%d)",
+		a.Spec.Budget, a.Spec.Quiesce, a.Sup.Checkpoints, a.Sup.Restarts, a.Sup.FromScratch)
+	if a.Aborted != nil {
+		detail += fmt.Sprintf("; supervisor aborted: %v", a.Aborted)
+	}
+	return []Violation{{c.Name(), detail}}
+}

@@ -1,0 +1,35 @@
+package chaos
+
+// Replay re-executes a scenario from its printed reproducer line. With
+// an empty spec the scenario is regenerated from the seed (the unshrunk
+// original); otherwise the JSON spec — usually the shrinker's minimal
+// reproducer — is parsed and the seed pins its master RNG seed. The
+// returned Result carries the violations, so a regression test is one
+// call plus an assertion:
+//
+//	r, err := chaos.Replay(1729, `{"seed":1729,...}`)
+//	if err != nil || r.Violated("double-commit") { t.Fatal(...) }
+func Replay(seed int64, specJSON string) (*Result, error) {
+	var sp *Spec
+	if specJSON == "" {
+		sp = Generate(seed)
+	} else {
+		var err error
+		sp, err = ParseSpec(specJSON)
+		if err != nil {
+			return nil, err
+		}
+		sp.Seed = seed
+	}
+	return Run(sp), nil
+}
+
+// Confirm runs the spec twice and reports whether the two runs were
+// byte-identical (equal digests). A violation that fails to confirm is
+// a nondeterminism bug in the simulator — a worse finding than the
+// violation itself, and reported as such by the harness.
+func Confirm(sp *Spec) (deterministic bool, first, second *Result) {
+	first = Run(sp.Clone())
+	second = Run(sp.Clone())
+	return first.Digest == second.Digest, first, second
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import "repro/internal/simtime"
+
+// ShrinkBudget caps how many scenario re-runs one Shrink call may spend.
+const ShrinkBudget = 120
+
+// Shrink greedily minimizes a violating scenario: it tries dropping each
+// node failure and partition, zeroing the probabilistic storage and
+// network faults, halving the workload, tightening the schedule, and
+// removing unreferenced nodes — keeping a candidate only if the named
+// invariant still fires. The result is a local minimum: removing any
+// single remaining element makes the violation disappear. Returns the
+// minimal spec and the number of runs spent.
+func Shrink(sp *Spec, invariant string) (*Spec, int) {
+	evals := 0
+	violates := func(cand *Spec) bool {
+		if evals >= ShrinkBudget || cand.validate() != nil {
+			return false
+		}
+		evals++
+		return Run(cand).Violated(invariant)
+	}
+
+	cur := sp.Clone()
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if cand.Size() < cur.Size() && violates(cand) {
+				cur = cand
+				improved = true
+				break // restart the pass from the smaller spec
+			}
+		}
+		if !improved || evals >= ShrinkBudget {
+			return cur, evals
+		}
+	}
+}
+
+// candidates enumerates one-step reductions of a spec, cheapest wins
+// first (drop a whole fault before trimming the workload).
+func candidates(sp *Spec) []*Spec {
+	var out []*Spec
+	for i := range sp.Failures {
+		c := sp.Clone()
+		c.Failures = append(c.Failures[:i:i], c.Failures[i+1:]...)
+		out = append(out, c)
+	}
+	for i := range sp.Partitions {
+		c := sp.Clone()
+		c.Partitions = append(c.Partitions[:i:i], c.Partitions[i+1:]...)
+		out = append(out, c)
+	}
+	if sp.Storage != (StorageSpec{}) {
+		c := sp.Clone()
+		c.Storage = StorageSpec{}
+		out = append(out, c)
+	}
+	if sp.Loss > 0 || sp.Dup > 0 || sp.Jitter > 0 {
+		c := sp.Clone()
+		c.Loss, c.Dup, c.Jitter = 0, 0, 0
+		out = append(out, c)
+	}
+	if sp.Iterations > 10 {
+		c := sp.Clone()
+		c.Iterations /= 2
+		out = append(out, c)
+	}
+	if c := dropTopWorker(sp); c != nil {
+		out = append(out, c)
+	}
+	if c := tightenSchedule(sp); c != nil {
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropTopWorker removes the highest-numbered worker when no remaining
+// fault references it (the observer renumbers down by one with it).
+func dropTopWorker(sp *Spec) *Spec {
+	if sp.Nodes <= 3 {
+		return nil
+	}
+	top := sp.workers() - 1
+	for _, f := range sp.Failures {
+		if f.Node == top {
+			return nil
+		}
+	}
+	for _, p := range sp.Partitions {
+		for _, n := range p.Side {
+			if n == top {
+				return nil
+			}
+		}
+	}
+	c := sp.Clone()
+	c.Nodes--
+	return c
+}
+
+// tightenSchedule pulls the quiesce point down to just past the last
+// remaining discrete fault (shortening the window a reproducer has to
+// be watched for).
+func tightenSchedule(sp *Spec) *Spec {
+	last := simtime.Duration(0)
+	for _, f := range sp.Failures {
+		if end := f.At + f.Repair; end > last {
+			last = end
+		}
+	}
+	for _, p := range sp.Partitions {
+		if p.Heal > last {
+			last = p.Heal
+		}
+	}
+	q := last + 2*simtime.Millisecond
+	if q >= sp.Quiesce {
+		return nil
+	}
+	c := sp.Clone()
+	c.Quiesce = q
+	c.Budget = q + genDrain
+	for i := range c.Partitions {
+		if c.Partitions[i].Heal > c.Quiesce {
+			c.Partitions[i].Heal = c.Quiesce
+		}
+	}
+	return c
+}

@@ -1,0 +1,192 @@
+// Package chaos is a FoundationDB-style deterministic simulation-testing
+// harness over the cluster: a single int64 seed drives a generator that
+// composes a random topology, workload, checkpoint policy, and fault
+// schedule (storage faults, network loss/jitter/duplication/partitions,
+// transient and permanent node failures, detector choice); an executor
+// runs the autonomic supervisor over the scenario while a registry of
+// invariant checkers observes every orchestration event. On a violation
+// the harness re-runs the same seed to confirm determinism, then greedily
+// shrinks the scenario to a minimal reproducer whose chaos.Replay line is
+// a copy-pasteable regression test. Nothing here reads the wall clock or
+// an unseeded RNG: a seed is a complete description of a run.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// FailEvent schedules one node failure.
+type FailEvent struct {
+	// At is when the node goes down.
+	At simtime.Duration `json:"at"`
+	// Node is the victim (a worker; the observer never fails).
+	Node int `json:"node"`
+	// Permanent marks a machine replacement (no reboot, disk wiped when
+	// it would come back); transient failures reboot after Repair.
+	Permanent bool `json:"perm,omitempty"`
+	// Repair is the reboot delay for transient failures.
+	Repair simtime.Duration `json:"repair,omitempty"`
+}
+
+// PartitionEvent schedules one named network partition.
+type PartitionEvent struct {
+	// At opens the cut, Heal closes it.
+	At   simtime.Duration `json:"at"`
+	Heal simtime.Duration `json:"heal"`
+	// Side is the node set cut off from the rest of the cluster.
+	Side []int `json:"side"`
+}
+
+// StorageSpec tunes probabilistic storage fault injection (see
+// storage.FaultPolicy for field semantics).
+type StorageSpec struct {
+	WriteFault   float64 `json:"write,omitempty"`
+	OutageFrac   float64 `json:"outage,omitempty"`
+	SilentTear   float64 `json:"tear,omitempty"`
+	PublishFault float64 `json:"publish,omitempty"`
+}
+
+// Spec is one complete chaos scenario. It is what the generator emits,
+// what the executor runs, what the shrinker minimizes, and what Replay
+// parses — the JSON encoding is the exchange format for reproducers.
+type Spec struct {
+	// Seed is the master seed: cluster, kernel, and fault-policy RNGs all
+	// derive from it, so equal specs produce byte-identical runs.
+	Seed int64 `json:"seed"`
+	// Nodes is the total machine count; the observer (control plane) is
+	// always the highest-numbered node and the job starts on node 0.
+	Nodes int `json:"nodes"`
+
+	// Workload: a Sparse program of MiB with the given write fraction.
+	MiB        int     `json:"mib"`
+	WriteFrac  float64 `json:"wf"`
+	WorkSeed   int64   `json:"wseed"`
+	Iterations uint64  `json:"iters"`
+
+	// Checkpoint policy.
+	Interval simtime.Duration `json:"interval"`
+
+	// Detector is one of "timeout-1ms", "timeout-2ms", "timeout-3ms",
+	// "phi-4", "phi-8", "phi-12"; HBPeriod is the heartbeat period.
+	Detector string           `json:"detector"`
+	HBPeriod simtime.Duration `json:"hb"`
+
+	// Network faults.
+	Loss   float64          `json:"loss,omitempty"`
+	Dup    float64          `json:"dup,omitempty"`
+	Jitter simtime.Duration `json:"jitter,omitempty"`
+
+	// Storage faults.
+	Storage StorageSpec `json:"storage,omitempty"`
+
+	// Fault schedule. All discrete faults land before Quiesce; the
+	// liveness invariant demands completion within Budget of start.
+	Failures   []FailEvent      `json:"failures,omitempty"`
+	Partitions []PartitionEvent `json:"partitions,omitempty"`
+	Quiesce    simtime.Duration `json:"quiesce"`
+	Budget     simtime.Duration `json:"budget"`
+
+	// NoFencing disables epoch fencing — the deliberately-broken-build
+	// knob the double-commit checker must catch.
+	NoFencing bool `json:"nofence,omitempty"`
+}
+
+// observer returns the control-plane node index.
+func (sp *Spec) observer() int { return sp.Nodes - 1 }
+
+// workers returns the worker count (every node but the observer).
+func (sp *Spec) workers() int { return sp.Nodes - 1 }
+
+// Size is the shrinker's cost metric: fewer faults, fewer nodes, a
+// shorter workload, and a tighter schedule all count as smaller.
+func (sp *Spec) Size() int {
+	n := sp.Nodes + len(sp.Failures) + len(sp.Partitions) + int(sp.Iterations) +
+		int(sp.Quiesce/simtime.Millisecond)
+	if sp.Loss > 0 || sp.Dup > 0 || sp.Jitter > 0 {
+		n++
+	}
+	if sp.Storage != (StorageSpec{}) {
+		n++
+	}
+	return n
+}
+
+// Clone returns a deep copy of the spec.
+func (sp *Spec) Clone() *Spec {
+	cp := *sp
+	cp.Failures = append([]FailEvent(nil), sp.Failures...)
+	cp.Partitions = make([]PartitionEvent, len(sp.Partitions))
+	for i, p := range sp.Partitions {
+		cp.Partitions[i] = p
+		cp.Partitions[i].Side = append([]int(nil), p.Side...)
+	}
+	return &cp
+}
+
+// MarshalLine renders the spec as one-line JSON (the Replay argument).
+func (sp *Spec) MarshalLine() string {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		// Spec holds only scalars and slices of scalars; Marshal cannot
+		// fail on it short of memory corruption.
+		panic(err)
+	}
+	return string(b)
+}
+
+// ParseSpec parses a MarshalLine encoding.
+func ParseSpec(line string) (*Spec, error) {
+	sp := &Spec{}
+	if err := json.Unmarshal([]byte(line), sp); err != nil {
+		return nil, fmt.Errorf("chaos: bad spec: %w", err)
+	}
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// validate rejects specs the executor cannot run safely.
+func (sp *Spec) validate() error {
+	if sp.Nodes < 3 {
+		return fmt.Errorf("chaos: need >= 3 nodes (1 observer + 2 workers), got %d", sp.Nodes)
+	}
+	if sp.Iterations == 0 || sp.MiB <= 0 {
+		return fmt.Errorf("chaos: empty workload")
+	}
+	if sp.Interval <= 0 || sp.HBPeriod <= 0 {
+		return fmt.Errorf("chaos: interval and heartbeat period must be positive")
+	}
+	if sp.Budget <= sp.Quiesce {
+		return fmt.Errorf("chaos: budget %v must exceed quiesce %v", sp.Budget, sp.Quiesce)
+	}
+	for _, f := range sp.Failures {
+		if f.Node < 0 || f.Node >= sp.workers() {
+			return fmt.Errorf("chaos: failure targets node %d outside workers [0,%d)", f.Node, sp.workers())
+		}
+	}
+	for _, p := range sp.Partitions {
+		if p.Heal <= p.At {
+			return fmt.Errorf("chaos: partition at %v never heals", p.At)
+		}
+		for _, n := range p.Side {
+			if n < 0 || n >= sp.workers() {
+				return fmt.Errorf("chaos: partition side includes node %d outside workers [0,%d)", n, sp.workers())
+			}
+		}
+	}
+	return nil
+}
+
+// ReplayLine renders the Go call that reproduces this scenario — the
+// line the harness prints for a shrunken violation, pasteable into a
+// regression test.
+func (sp *Spec) ReplayLine() string {
+	return fmt.Sprintf("chaos.Replay(%d, %q)", sp.Seed, sp.MarshalLine())
+}
+
+// detectorNames is the generator's detector palette.
+var detectorNames = []string{"timeout-1ms", "timeout-2ms", "timeout-3ms", "phi-4", "phi-8", "phi-12"}

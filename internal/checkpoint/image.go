@@ -470,7 +470,15 @@ func Decode(data []byte) (*Image, error) {
 
 	nShm := c.u32()
 	if nShm > 0 {
-		img.Shm = make(map[string][]byte, nShm)
+		// Bound the bucket pre-allocation by what the remaining input
+		// could possibly hold (each entry costs at least two u32 length
+		// prefixes): a forged count must not allocate ahead of the bytes
+		// backing it.
+		hint := c.r.Len() / 8
+		if int(nShm) < hint {
+			hint = int(nShm)
+		}
+		img.Shm = make(map[string][]byte, hint)
 	}
 	for i := uint32(0); i < nShm && c.err == nil; i++ {
 		k := c.str()

@@ -88,6 +88,7 @@ func (a *ckptAgent) pump() {
 			// self-fence. Kill the local (superseded) process and stop —
 			// the split brain ends here, with zero double commits.
 			a.s.Counters.Inc("fence.suicides", 1)
+			a.s.emit(EvSelfFence, a.node, a.epoch, "")
 			if p.State != proc.StateZombie {
 				n.K.Exit(p, 137)
 			}
@@ -105,10 +106,12 @@ func (a *ckptAgent) pump() {
 		a.s.lastNode = a.node
 		a.s.lastLocal = false
 		a.s.lastCkptDur = tk.Total()
+		a.s.emit(EvAck, a.node, a.epoch, a.s.lastLeaf)
 	} else {
 		// A stale writer slipped a commit past the (disabled) fence:
 		// this is a split-brain double commit, and it may have replaced
 		// the live incarnation's image under the same object name.
 		a.s.Counters.Inc("fence.double_commits", 1)
+		a.s.emit(EvStaleCommit, a.node, a.epoch, tk.Img.ObjectName())
 	}
 }

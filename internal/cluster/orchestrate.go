@@ -300,6 +300,12 @@ type Supervisor struct {
 	// none: its tests assert this stays zero.
 	OracleReads int
 
+	// Events is the orchestration event log (see events.go); OnEvent,
+	// when set, additionally receives each event as it is emitted — the
+	// chaos harness's invariant checkers observe the run through it.
+	Events  []Event
+	OnEvent func(Event)
+
 	node        int
 	pid         proc.PID
 	mechAt      map[int]nodeMech
@@ -391,6 +397,7 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 			s.Completed = true
 			s.Fingerprint = p.Regs().G[3]
 			s.Makespan = s.C.Now().Sub(start)
+			s.emit(EvComplete, s.node, 0, fmt.Sprintf("%#x", s.Fingerprint))
 			return nil
 		}
 		if err := s.checkpoint(p); err != nil {
@@ -478,6 +485,7 @@ func (s *Supervisor) attempt(p *proc.Process, tgt storage.Target, local bool) er
 	s.lastNode = s.node
 	s.lastLocal = local
 	s.lastCkptDur = tk.Total()
+	s.emit(EvAck, s.node, 0, s.lastLeaf)
 	return nil
 }
 
@@ -619,6 +627,7 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 		return err
 	}
 	s.armAgent(first, s.pid, epoch)
+	s.emit(EvAdmit, first, epoch, "")
 
 	poll := s.Interval / 4
 	if poll <= 0 {
@@ -667,6 +676,7 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 			s.Completed = true
 			s.Fingerprint = st.Fingerprint
 			s.Makespan = s.C.Now().Sub(start)
+			s.emit(EvComplete, s.node, s.Fence.Epoch(), fmt.Sprintf("%#x", s.Fingerprint))
 			return nil
 		}
 	}
@@ -682,6 +692,7 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 // server (ErrFenced) and self-fence.
 func (s *Supervisor) recoverFenced() error {
 	epoch := s.Fence.Advance()
+	s.emit(EvFailover, s.node, epoch, "")
 	spare := s.Detector.PickHealthy(s.node)
 	if spare < 0 {
 		return errors.New("cluster: no unsuspected spare node")
@@ -705,10 +716,12 @@ func (s *Supervisor) recoverFenced() error {
 	if chain == nil {
 		s.FromScratch++
 		s.lastLeaf = ""
+		s.emit(EvScratch, spare, epoch, "")
 		if err := s.start(spare); err != nil {
 			return err
 		}
 		s.armAgent(spare, s.pid, epoch)
+		s.emit(EvAdmit, spare, epoch, "")
 		return nil
 	}
 	m, err := s.mech(spare)
@@ -719,6 +732,7 @@ func (s *Supervisor) recoverFenced() error {
 	if _, err := s.C.Node(spare).K.Registry.Lookup(prepared.Name()); err != nil {
 		s.C.Node(spare).K.Registry.MustRegister(prepared)
 	}
+	s.emit(EvRestore, spare, epoch, chain[len(chain)-1].ObjectName())
 	p, err := m.Restart(s.C.Node(spare).K, chain, true)
 	if err != nil {
 		return err
@@ -726,5 +740,6 @@ func (s *Supervisor) recoverFenced() error {
 	s.node = spare
 	s.pid = p.PID
 	s.armAgent(spare, s.pid, epoch)
+	s.emit(EvAdmit, spare, epoch, "")
 	return nil
 }

@@ -1,0 +1,59 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+// TestQuickPhiMonotoneInSilence is the accrual detector's core safety
+// property, checked over random heartbeat histories: once the window has
+// warmed up, suspicion never decreases as the silence since the last
+// heartbeat grows. A dip would let a node slip back below threshold
+// without any new evidence of life.
+func TestQuickPhiMonotoneInSilence(t *testing.T) {
+	prop := func(seed int64, beats uint8, gap1, gap2 uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewPhiAccrual(8, 64, 100*simtime.Microsecond)
+		now := simtime.Time(simtime.Millisecond)
+		d.Prime(0, now)
+		n := 3 + int(beats)%64
+		for i := 0; i < n; i++ {
+			now = now.Add(simtime.Duration(100+rng.Intn(400)) * simtime.Microsecond)
+			d.Observe(0, now)
+		}
+		t1 := now.Add(simtime.Duration(gap1 % 2_000_000)) // up to 2ms of silence
+		t2 := t1.Add(simtime.Duration(gap2 % 2_000_000))
+		p0, p1, p2 := d.Phi(0, now), d.Phi(0, t1), d.Phi(0, t2)
+		return p0 >= 0 && p0 <= p1 && p1 <= p2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPhiDuplicatesAddNoInformation: replaying an old heartbeat
+// (duplication and reordering are squarely inside the network fault
+// model) must not change the suspicion level.
+func TestQuickPhiDuplicatesAddNoInformation(t *testing.T) {
+	prop := func(seed int64, beats uint8, back uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewPhiAccrual(8, 64, 100*simtime.Microsecond)
+		now := simtime.Time(simtime.Millisecond)
+		d.Prime(0, now)
+		n := 3 + int(beats)%64
+		for i := 0; i < n; i++ {
+			now = now.Add(simtime.Duration(100+rng.Intn(400)) * simtime.Microsecond)
+			d.Observe(0, now)
+		}
+		probe := now.Add(simtime.Millisecond)
+		before := d.Phi(0, probe)
+		d.Observe(0, now.Add(-simtime.Duration(back%1_000_000))) // stale replay
+		return d.Phi(0, probe) == before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -50,6 +50,14 @@ func E12Detection(losses []float64) *trace.Table {
 // e12Run drives one supervised job under one detector and one network
 // scenario and returns the table row.
 func e12Run(kind string, loss float64, partition bool) []any {
+	row, _, _ := e12RunFull(kind, loss, partition)
+	return row
+}
+
+// e12RunFull additionally returns the sorted counter snapshot and the
+// rendered orchestration event log, so the determinism regression test
+// can compare two same-seed runs byte for byte.
+func e12RunFull(kind string, loss float64, partition bool) (row []any, counters, events string) {
 	prog := workload.Sparse{MiB: 1, WriteFrac: 0.2, Seed: 12}
 	reg := kernel.NewRegistry()
 	reg.MustRegister(prog)
@@ -115,11 +123,12 @@ func e12Run(kind string, loss float64, partition bool) []any {
 		lat = mon.Latency.Mean()
 	}
 	ctr := c.Counters
-	return []any{
+	row = []any{
 		kind, scenario, completed, sup.Makespan.Millis(),
 		sup.Checkpoints, sup.Restarts,
 		ctr.Get("det.wasted_restarts"), lat,
 		ctr.Get("det.false_positives"),
 		ctr.Get("fence.rejected"), ctr.Get("fence.double_commits"),
 	}
+	return row, ctr.String(), cluster.FormatEvents(sup.Events)
 }

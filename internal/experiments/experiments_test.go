@@ -313,3 +313,47 @@ func TestE12PhiUnderLossIsSafeAndFalsePositiveRecoveryCompletes(t *testing.T) {
 		t.Fatalf("oracle baseline affected by control-plane faults:\n%s", tb)
 	}
 }
+
+// TestE12DeterministicReplay runs the E12 autonomic scenario twice with
+// the same seed and demands byte-identical counter snapshots and
+// orchestration event logs: the simulation's determinism is what makes
+// every other experiment (and the chaos harness's seed replay)
+// trustworthy.
+func TestE12DeterministicReplay(t *testing.T) {
+	type snap struct{ counters, events string }
+	run := func() snap {
+		_, ctr, evs := e12RunFull("phi-8", 0.05, false)
+		return snap{ctr, evs}
+	}
+	a, b := run(), run()
+	if a.counters != b.counters {
+		t.Errorf("counter snapshots differ:\n--- first ---\n%s\n--- second ---\n%s", a.counters, b.counters)
+	}
+	if a.events != b.events {
+		t.Errorf("event logs differ:\n--- first ---\n%s\n--- second ---\n%s", a.events, b.events)
+	}
+	if a.events == "" {
+		t.Error("event log empty: supervisor emitted no events")
+	}
+}
+
+// TestE13ChaosSweepContrast: the shipped build survives a seed block
+// with zero violations; the fencing-disabled build is caught by the
+// double-commit checker within the same block.
+func TestE13ChaosSweepContrast(t *testing.T) {
+	tb := E13ChaosSweep(1, 25)
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows=%d:\n%s", tb.NumRows(), tb)
+	}
+	for c := 3; c <= 7; c++ {
+		if tb.Cell(0, c) != "0" {
+			t.Fatalf("shipped build violated an invariant:\n%s", tb)
+		}
+	}
+	if tb.Cell(1, 3) == "0" {
+		t.Fatalf("no-fencing build produced no double commit in 25 seeds:\n%s", tb)
+	}
+	if tb.Cell(1, 8) == "" {
+		t.Fatalf("no first-bad-seed recorded for the broken build:\n%s", tb)
+	}
+}

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// TestQuickFenceEpochMonotone: epochs advance by exactly one, never
+// repeat, and Epoch always reflects the last Advance — over a random
+// number of advances.
+func TestQuickFenceEpochMonotone(t *testing.T) {
+	prop := func(advances uint8) bool {
+		dom := NewFenceDomain("q", nil)
+		prev := dom.Epoch()
+		if prev != 0 {
+			return false
+		}
+		for i := 0; i < 1+int(advances)%128; i++ {
+			e := dom.Advance()
+			if e != prev+1 || dom.Epoch() != e {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFenceStaleWriterNeverCommits drives a random interleaving of
+// writers admitted at successive epochs and checks the fencing contract
+// after every publish attempt: only the current-epoch writer may change
+// the committed object, ErrFenced is returned exactly when the writer is
+// stale, a rejected publish leaves no staging debris, and the committed
+// bytes always belong to the newest writer that ever published.
+func TestQuickFenceStaleWriterNeverCommits(t *testing.T) {
+	prop := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := NewMemory("q", nil)
+		ctr := trace.NewCounters()
+		dom := NewFenceDomain("job", ctr)
+
+		writers := []Target{FencedAt(base, dom, dom.Advance())}
+		committedBy := -1 // index of the newest writer to publish successfully
+		wantRejected := int64(0)
+		for step := 0; step < 2+int(steps)%40; step++ {
+			if rng.Intn(3) == 0 { // failover: admit a successor
+				writers = append(writers, FencedAt(base, dom, dom.Advance()))
+			}
+			w := rng.Intn(len(writers)) // any incarnation may still be running
+			payload := []byte(fmt.Sprintf("writer-%d-step-%d", w, step))
+			err := PutAtomic(writers[w], "img", payload, nil)
+			current := w == len(writers)-1
+			switch {
+			case current:
+				if err != nil {
+					return false
+				}
+				if committedBy > w {
+					return false // a newer writer cannot be overwritten by an older admit order
+				}
+				committedBy = w
+				got, rerr := base.ReadObject("img", nil)
+				if rerr != nil || !bytes.Equal(got, payload) {
+					return false
+				}
+			default:
+				if !errors.Is(err, ErrFenced) {
+					return false
+				}
+				wantRejected++
+			}
+			// A fenced publish must garbage-collect its staging object:
+			// the only object ever visible under final or staging names
+			// is the committed image.
+			if l := base.List(); len(l) > 1 || (len(l) == 1 && l[0] != "img") {
+				return false
+			}
+		}
+		// Accounting: every rejection was counted, nothing else was.
+		return ctr.Get("fence.rejected") == wantRejected
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
