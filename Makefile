@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench check vet race fuzz chaos
+.PHONY: all build test bench bench-ckpt check vet race fuzz chaos chaos-incremental
 
 all: build test
 
@@ -19,6 +19,11 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Incremental-shipping bench: full images vs delta chains across dirty
+# rates (experiment E14), emitted machine-readable for trend tracking.
+bench-ckpt:
+	$(GO) run ./cmd/crbench -benchckpt BENCH_incremental.json
 
 vet:
 	$(GO) vet ./...
@@ -37,5 +42,12 @@ fuzz:
 # chaos.Replay reproducer lines and fail the target.
 chaos:
 	$(GO) run ./cmd/crsurvey chaos -seeds 10000
+
+# Same sweep with delta-chain shipping forced on every seed, so the
+# chain invariants (ancestry-before-durability, GC never breaks a live
+# chain, fenced heads) see full coverage nightly rather than only the
+# generator's incremental fraction.
+chaos-incremental:
+	$(GO) run ./cmd/crsurvey chaos -seeds 2000 -incremental
 
 check: build vet race fuzz

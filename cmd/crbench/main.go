@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E12 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E14 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -8,9 +8,12 @@
 //	crbench -e 4       # run only E4
 //	crbench -e 1,5,9   # run a subset
 //	crbench -quick     # smaller parameters (CI-sized)
+//	crbench -benchckpt BENCH_incremental.json
+//	                   # write the E14 full-vs-delta summaries as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +27,36 @@ import (
 func main() {
 	sel := flag.String("e", "", "comma-separated experiment numbers (default: all)")
 	quick := flag.Bool("quick", false, "smaller parameters")
+	benchCkpt := flag.String("benchckpt", "", "write the E14 incremental-shipping bench to this JSON file and exit")
 	flag.Parse()
+
+	if *benchCkpt != "" {
+		summaries := experiments.E14Bench(*quick)
+		data, err := json.MarshalIndent(summaries, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchCkpt, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		for _, s := range summaries {
+			fmt.Printf("dirty %.2f: full %.1f KiB/ckpt, delta %.1f KiB/ckpt (reduction %.0f%%), restore %.2f ms vs %.2f ms\n",
+				s.DirtyRate, s.FullBytesPerCkpt/1024, s.DeltaBytesPerCkpt/1024,
+				100*s.Reduction, s.FullRestoreMs, s.DeltaRestoreMs)
+		}
+		fmt.Println("wrote", *benchCkpt)
+		return
+	}
 
 	want := map[int]bool{}
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 12 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..12)\n", part)
+			if err != nil || n < 1 || n > 14 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..14)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -45,6 +70,7 @@ func main() {
 	mtbfs := []float64{2, 4, 8, 24, 72}
 	ranks := []int{2, 4, 8, 16}
 	losses := []float64{0, 0.05}
+	chaosSeeds := 200
 	if *quick {
 		sizes = []int{1, 4}
 		e2mib, e3mib, e7mib = 4, 2, 2
@@ -52,6 +78,7 @@ func main() {
 		mtbfs = []float64{8, 24}
 		ranks = []int{2, 8}
 		losses = []float64{0.05}
+		chaosSeeds = 25
 	}
 
 	tables := []struct {
@@ -70,6 +97,8 @@ func main() {
 		{10, func() *trace.Table { return experiments.E10Extras() }},
 		{11, func() *trace.Table { return experiments.E11StorageFaults(0.10) }},
 		{12, func() *trace.Table { return experiments.E12Detection(losses) }},
+		{13, func() *trace.Table { return experiments.E13ChaosSweep(1, chaosSeeds) }},
+		{14, func() *trace.Table { return experiments.E14Incremental(*quick) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

@@ -17,6 +17,7 @@
 //	crsurvey chaos -seeds 10000          # sweep seeds 1..10000, exit 1 on any violation
 //	crsurvey chaos -start 5000 -seeds 10 # sweep a different block
 //	crsurvey chaos -broken -seeds 100    # fencing disabled: prove the harness catches it
+//	crsurvey chaos -incremental -seeds 1000 # delta chains forced on: chain-invariant sweep
 //	crsurvey chaos -replay 42            # re-run one seed, print its event log
 //	crsurvey chaos -replay 42 -spec '{...}' -shrink
 package main
@@ -91,10 +92,24 @@ func chaosMain(args []string) {
 	seeds := fs.Int("seeds", 200, "number of consecutive seeds to sweep")
 	start := fs.Int64("start", 1, "first seed of the sweep")
 	broken := fs.Bool("broken", false, "disable epoch fencing (the deliberately broken build)")
+	incremental := fs.Bool("incremental", false, "force delta-chain shipping on every spec (chain-invariant sweep)")
 	replay := fs.Int64("replay", 0, "replay one seed instead of sweeping")
 	spec := fs.String("spec", "", "replay this spec JSON (from a printed replay line) instead of regenerating from the seed")
 	shrink := fs.Bool("shrink", false, "shrink a violating replay to a minimal reproducer")
 	fs.Parse(args)
+
+	// -incremental forces every spec onto the delta-chain shipping path so
+	// a sweep exercises the chain invariants on all seeds, not just the
+	// roughly half the generator picks.
+	force := func(sp *chaos.Spec) {
+		if !*incremental {
+			return
+		}
+		sp.Incremental = true
+		if sp.RebaseEvery == 0 {
+			sp.RebaseEvery = 4
+		}
+	}
 
 	if *replay != 0 || *spec != "" {
 		sp := &chaos.Spec{}
@@ -111,6 +126,7 @@ func chaosMain(args []string) {
 			}
 		}
 		sp.NoFencing = sp.NoFencing || *broken
+		force(sp)
 		r := chaos.Run(sp)
 		fmt.Println(r.Summary())
 		fmt.Print(r.EventLog)
@@ -134,6 +150,7 @@ func chaosMain(args []string) {
 	for i := 0; i < *seeds; i++ {
 		sp := chaos.Generate(*start + int64(i))
 		sp.NoFencing = *broken
+		force(sp)
 		r := chaos.Run(sp)
 		if len(r.Violations) == 0 {
 			continue

@@ -114,5 +114,14 @@ func Generate(seed int64) *Spec {
 	}
 
 	sp.Budget = sp.Quiesce + genDrain
+
+	// Delta chains on about half the seeds, with a short rebase period so
+	// a sweep-sized run crosses several rebase/GC cycles. Drawn LAST:
+	// every earlier field of a given seed is identical with and without
+	// this block, so pre-chain reproducer lines stay meaningful.
+	if rng.Float64() < 0.5 {
+		sp.Incremental = true
+		sp.RebaseEvery = 2 + rng.Intn(7) // 2..8
+	}
 	return sp
 }

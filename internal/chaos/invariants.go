@@ -90,30 +90,42 @@ func (c *doubleCommitChecker) Finish(a *Audit) []Violation {
 // --- no acknowledged checkpoint lost after publish ---
 
 // ackedDurabilityChecker records every checkpoint the orchestration
-// layer acknowledged (EvAck = PutAtomic published and the supervisor's
+// layer acknowledged (EvAck = published atomically and the supervisor's
 // recovery pointer updated) and verifies at the end that each name still
 // holds a decodable image on the server. Atomic commit makes replacement
-// the only legal mutation — a later incarnation may overwrite a name
-// with a newer complete image, but a torn, truncated, or vanished object
-// under an acked name is a violation. The ckpt.torn / ckpt.lost counters
-// catch the same breach when recovery trips over it mid-run.
+// and rebase-driven garbage collection (EvRetire) the only legal
+// mutations — a torn, truncated, or vanished object under an acked,
+// unretired name is a violation. With delta chains the durability unit
+// widens from the object to its ancestry: the final acked leaf must walk
+// parent links to an intact full image without meeting a retired or
+// unreadable ancestor, or restore would silently lose a mid-chain delta.
+// The ckpt.torn / ckpt.lost counters catch the same breaches when
+// recovery trips over them mid-run.
 type ackedDurabilityChecker struct {
-	acked []string
-	seen  map[string]bool
+	acked   []string
+	seen    map[string]bool
+	retired map[string]bool
+	lastAck string
 }
 
 func (c *ackedDurabilityChecker) Name() string { return "acked-durability" }
 
 func (c *ackedDurabilityChecker) Event(ev cluster.Event) {
-	if ev.Kind != cluster.EvAck {
-		return
-	}
-	if c.seen == nil {
-		c.seen = make(map[string]bool)
-	}
-	if !c.seen[ev.Object] {
-		c.seen[ev.Object] = true
-		c.acked = append(c.acked, ev.Object)
+	switch ev.Kind {
+	case cluster.EvAck:
+		if c.seen == nil {
+			c.seen = make(map[string]bool)
+		}
+		c.lastAck = ev.Object
+		if !c.seen[ev.Object] {
+			c.seen[ev.Object] = true
+			c.acked = append(c.acked, ev.Object)
+		}
+	case cluster.EvRetire:
+		if c.retired == nil {
+			c.retired = make(map[string]bool)
+		}
+		c.retired[ev.Object] = true
 	}
 }
 
@@ -126,6 +138,9 @@ func (c *ackedDurabilityChecker) Finish(a *Audit) []Violation {
 		out = append(out, Violation{c.Name(), fmt.Sprintf("%d committed image(s) vanished", lost)})
 	}
 	for _, name := range c.acked {
+		if c.retired[name] {
+			continue // legally garbage-collected after a rebase
+		}
 		data, err := a.ReadObject(name)
 		if err != nil {
 			out = append(out, Violation{c.Name(), fmt.Sprintf("acked %s unreadable: %v", name, err)})
@@ -135,7 +150,42 @@ func (c *ackedDurabilityChecker) Finish(a *Audit) []Violation {
 			out = append(out, Violation{c.Name(), fmt.Sprintf("acked %s corrupt: %v", name, err)})
 		}
 	}
-	return out
+	return append(out, c.chainViolations(a)...)
+}
+
+// chainViolations walks the final acked leaf's ancestry on the server:
+// every hop must be readable, decodable, unretired, and the walk must
+// end at a full image. This is the invariant GC and PutChained together
+// promise — a restore from the recovery pointer can always replay an
+// intact chain.
+func (c *ackedDurabilityChecker) chainViolations(a *Audit) []Violation {
+	name := c.lastAck
+	if name == "" {
+		return nil
+	}
+	for hops := 0; ; hops++ {
+		if hops > 4096 {
+			return []Violation{{c.Name(), fmt.Sprintf("chain from %s did not terminate in a full image", c.lastAck)}}
+		}
+		if c.retired[name] {
+			return []Violation{{c.Name(), fmt.Sprintf("live-chain ancestor %s was garbage-collected", name)}}
+		}
+		data, err := a.ReadObject(name)
+		if err != nil {
+			return []Violation{{c.Name(), fmt.Sprintf("live-chain ancestor %s unreadable: %v", name, err)}}
+		}
+		img, err := checkpoint.Decode(data)
+		if err != nil {
+			return []Violation{{c.Name(), fmt.Sprintf("live-chain ancestor %s corrupt: %v", name, err)}}
+		}
+		if img.Mode == checkpoint.ModeFull {
+			return nil
+		}
+		if img.Parent == "" {
+			return []Violation{{c.Name(), fmt.Sprintf("incremental image %s has no parent", name)}}
+		}
+		name = img.Parent
+	}
 }
 
 // --- restored state digest matches the reference ---

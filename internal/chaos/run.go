@@ -103,6 +103,8 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 		Prog:        prog,
 		Iterations:  sp.Iterations,
 		Interval:    sp.Interval,
+		Incremental: sp.Incremental,
+		RebaseEvery: sp.RebaseEvery,
 		Detector:    mon,
 		ControlNode: sp.observer(),
 		NoFencing:   sp.NoFencing,

@@ -66,8 +66,13 @@ type Spec struct {
 	WorkSeed   int64   `json:"wseed"`
 	Iterations uint64  `json:"iters"`
 
-	// Checkpoint policy.
-	Interval simtime.Duration `json:"interval"`
+	// Checkpoint policy. Incremental ships tracker-driven delta chains
+	// with a full rebase every RebaseEvery checkpoints; absent (the
+	// zero value, and the default for replay lines predating chains)
+	// every checkpoint is a full image.
+	Interval    simtime.Duration `json:"interval"`
+	Incremental bool             `json:"incr,omitempty"`
+	RebaseEvery int              `json:"rebase,omitempty"`
 
 	// Detector is one of "timeout-1ms", "timeout-2ms", "timeout-3ms",
 	// "phi-4", "phi-8", "phi-12"; HBPeriod is the heartbeat period.

@@ -38,6 +38,9 @@ type Request struct {
 	// Parent is the object name of the previous image for incremental
 	// captures ("" for full).
 	Parent string
+	// Epoch namespaces the image's object name by incarnation (see
+	// Image.Epoch). Zero keeps legacy single-incarnation names.
+	Epoch uint64
 	// Now is the capture timestamp.
 	Now simtime.Time
 	// AsPID, when nonzero, overrides the PID recorded in the image (used
@@ -79,6 +82,7 @@ func Capture(req Request) (*Image, Stats, error) {
 		Seq:       req.Seq,
 		Parent:    parent,
 		Mode:      mode,
+		Epoch:     req.Epoch,
 		PID:       p.PID,
 		PPID:      p.PPID,
 		VPID:      p.VPID,
@@ -156,9 +160,14 @@ func Capture(req Request) (*Image, Stats, error) {
 		// mid-write can only tear the staging object, never a committed
 		// image. storage.Unsafe-wrapped targets take the legacy in-place
 		// path (the torn-image contrast for experiments).
-		if storage.IsUnsafe(req.Target) {
+		switch {
+		case storage.IsUnsafe(req.Target):
 			err = storage.Put(req.Target, img.ObjectName(), encoded, env)
-		} else {
+		case mode == ModeIncremental:
+			// A delta is only durable if its whole ancestry is: refuse to
+			// publish onto a parent the target does not hold.
+			err = storage.PutChained(req.Target, img.ObjectName(), img.Parent, encoded, env)
+		default:
 			err = storage.PutAtomic(req.Target, img.ObjectName(), encoded, env)
 		}
 		if err != nil {

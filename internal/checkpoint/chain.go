@@ -1,0 +1,79 @@
+package checkpoint
+
+import "repro/internal/simos/mem"
+
+// CarryTracker wraps a Tracker for callers whose captures can fail after
+// collection. A Tracker's Collect clears its dirty set, so a delta whose
+// publish then fails (storage fault, fencing) would silently swallow
+// those ranges: the next delta only covers writes since the failed
+// collection, and the chain restores with a hole. CarryTracker keeps
+// every collected-but-unacknowledged range pending and folds it into the
+// next Collect; Commit marks the last collection durable and drops the
+// pending set.
+//
+// Carrying is a superset, never a hole: a pending range re-ships page
+// contents the chain may already hold, which is redundant but safe.
+type CarryTracker struct {
+	inner   Tracker
+	pending []Range
+}
+
+// NewCarryTracker wraps t. The caller must Commit after each collection
+// whose capture was durably published.
+func NewCarryTracker(t Tracker) *CarryTracker { return &CarryTracker{inner: t} }
+
+// Name implements Tracker.
+func (t *CarryTracker) Name() string { return t.inner.Name() }
+
+// Granularity implements Tracker.
+func (t *CarryTracker) Granularity() int { return t.inner.Granularity() }
+
+// Arm implements Tracker.
+func (t *CarryTracker) Arm() error { return t.inner.Arm() }
+
+// Collect returns the inner tracker's ranges merged with any pending
+// ranges from earlier uncommitted collections, and holds the union
+// pending until Commit.
+func (t *CarryTracker) Collect() ([]Range, error) {
+	rs, err := t.inner.Collect()
+	if err != nil {
+		return nil, err
+	}
+	rs = mergeRanges(rs, t.pending)
+	t.pending = rs
+	return rs, nil
+}
+
+// Commit records that the last collection's capture is durable: the
+// pending ranges are covered by the chain and need not be carried.
+func (t *CarryTracker) Commit() { t.pending = nil }
+
+// Stats implements Tracker.
+func (t *CarryTracker) Stats() TrackerStats { return t.inner.Stats() }
+
+// Close implements Tracker.
+func (t *CarryTracker) Close() {
+	t.pending = nil
+	t.inner.Close()
+}
+
+// mergeRanges returns the page-granular union of two range sets as
+// sorted, coalesced, non-overlapping ranges (the shape Capture expects).
+func mergeRanges(a, b []Range) []Range {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	var pages []mem.PageNum
+	for _, rs := range [][]Range{a, b} {
+		for _, r := range rs {
+			end := r.Addr + mem.Addr(r.Length)
+			for pn := r.Addr.Page(); pn.Base() < end; pn++ {
+				pages = append(pages, pn)
+			}
+		}
+	}
+	return pagesToRanges(pages)
+}

@@ -103,6 +103,12 @@ type Image struct {
 	Seq       uint64
 	Parent    string // object name of the previous image in the chain
 	Mode      Mode
+	// Epoch namespaces the chain's object names by incarnation (the
+	// fencing epoch that admitted the process). Fresh kernels reuse PIDs
+	// from 1, so without it a new incarnation's images would overwrite a
+	// prior chain's ancestors while every parent link still matched.
+	// Zero means un-namespaced (single-incarnation / legacy) names.
+	Epoch uint64
 
 	PID  proc.PID
 	PPID proc.PID
@@ -128,8 +134,13 @@ type Image struct {
 	handlers map[sig.Signal]*sig.Handler
 }
 
-// ObjectName returns the storage key for this image.
+// ObjectName returns the storage key for this image. Epoch-stamped
+// images live under a per-incarnation prefix so chains from different
+// incarnations can never collide on a reused PID.
 func (img *Image) ObjectName() string {
+	if img.Epoch != 0 {
+		return fmt.Sprintf("ckpt/e%d/pid%d/seq%d", img.Epoch, img.PID, img.Seq)
+	}
 	return fmt.Sprintf("ckpt/pid%d/seq%d", img.PID, img.Seq)
 }
 
@@ -159,8 +170,10 @@ func (img *Image) Handlers() map[sig.Signal]*sig.Handler { return img.handlers }
 // --- Binary codec ---
 
 const (
-	imageMagic   = uint32(0xC4EC_4001)
-	imageVersion = uint16(1)
+	imageMagic = uint32(0xC4EC_4001)
+	// imageVersion 2 added the Epoch field after Seq; version-1 images
+	// (Epoch implicitly zero) still decode.
+	imageVersion = uint16(2)
 )
 
 // ErrCorrupt reports a failed checksum or malformed image.
@@ -257,6 +270,7 @@ func (img *Image) Encode(w io.Writer) (int, error) {
 	c.str(img.Hostname)
 	c.i64(int64(img.TakenAt))
 	c.u64(img.Seq)
+	c.u64(img.Epoch)
 	c.str(img.Parent)
 	c.u8(uint8(img.Mode))
 	c.i64(int64(img.PID))
@@ -378,7 +392,8 @@ func Decode(data []byte) (*Image, error) {
 	if c.u32() != imageMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := c.u16(); v != imageVersion {
+	v := c.u16()
+	if v < 1 || v > imageVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	img := &Image{}
@@ -386,6 +401,9 @@ func Decode(data []byte) (*Image, error) {
 	img.Hostname = c.str()
 	img.TakenAt = simtime.Time(c.i64())
 	img.Seq = c.u64()
+	if v >= 2 {
+		img.Epoch = c.u64()
+	}
 	img.Parent = c.str()
 	img.Mode = Mode(c.u8())
 	img.PID = proc.PID(c.i64())

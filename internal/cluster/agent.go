@@ -2,17 +2,26 @@
 // longer drives checkpoints synchronously from its control loop (that
 // would require knowing the node is alive — an oracle). Instead each job
 // incarnation gets a small daemon on its own node that checkpoints the
-// process every Interval to the remote server, holding the fencing epoch
+// process every interval to the remote server, holding the fencing epoch
 // it was started under. The agent is node-local code: it runs only while
 // its machine does, and it keeps running after a false suspicion — which
 // is exactly how a split brain forms, and exactly what the fenced target
 // defuses.
+//
+// With Supervisor.Incremental set the agent ships delta chains instead
+// of full images: it arms one dirty-page tracker per incarnation, sends
+// only the ranges written since the previous checkpoint (chained onto
+// it), and every rebaseEvery-th round publishes a fresh full image that
+// bounds the chain — at which point everything the new full supersedes
+// is garbage-collected through the same fenced target the publishes go
+// through.
 
 package cluster
 
 import (
 	"errors"
 
+	"repro/internal/checkpoint"
 	"repro/internal/mechanism"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -27,6 +36,14 @@ type ckptAgent struct {
 	epoch   uint64 // fencing epoch this incarnation was admitted at
 	nextAt  simtime.Time
 	stopped bool
+
+	// Incremental-shipping state. trk is the incarnation's dirty
+	// tracker, armed lazily on the first capture; the carry wrapper
+	// keeps a failed round's collected ranges from vanishing. acked
+	// counts this incarnation's successful captures and drives the
+	// rebase cadence.
+	trk   *checkpoint.CarryTracker
+	acked int
 }
 
 // armAgent starts a checkpoint agent for the incarnation of the job
@@ -34,15 +51,36 @@ type ckptAgent struct {
 func (s *Supervisor) armAgent(node int, pid proc.PID, epoch uint64) {
 	s.agents = append(s.agents, &ckptAgent{
 		s: s, node: node, pid: pid, epoch: epoch,
-		nextAt: s.C.Now().Add(s.Interval),
+		nextAt: s.C.Now().Add(s.agentInterval()),
 	})
 }
 
-// pumpAgents runs every live agent once; registered as a cluster step
-// hook by runAutonomic.
+// pumpAgents runs every agent once and compacts stopped agents out of
+// the slice; registered as a cluster step hook by runAutonomic. Without
+// the compaction a long run leaks one dead agent per incarnation and
+// scans them all forever.
 func (s *Supervisor) pumpAgents() {
+	live := s.agents[:0]
 	for _, a := range s.agents {
 		a.pump()
+		if a.stopped {
+			continue
+		}
+		live = append(live, a)
+	}
+	for i := len(live); i < len(s.agents); i++ {
+		s.agents[i] = nil // release for GC
+	}
+	s.agents = live
+}
+
+// stop retires the agent and releases its tracker (restoring the
+// process's page protections).
+func (a *ckptAgent) stop() {
+	a.stopped = true
+	if a.trk != nil {
+		a.trk.Close()
+		a.trk = nil
 	}
 }
 
@@ -61,15 +99,18 @@ func (a *ckptAgent) pump() {
 	if now < a.nextAt {
 		return
 	}
-	a.nextAt = now.Add(a.s.Interval)
+	// Consult the interval policy afresh each pump: adaptive intervals
+	// shorten as the MTBF estimate drops, which an arm-time snapshot of
+	// s.Interval would never see.
+	a.nextAt = now.Add(a.s.agentInterval())
 	n := c.Node(a.node)
 	p, err := n.K.Procs.Lookup(a.pid)
 	if err != nil {
-		a.stopped = true // rebooted under us: the process is gone
+		a.stop() // rebooted under us: the process is gone
 		return
 	}
 	if p.State == proc.StateZombie {
-		a.stopped = true // finished (or killed); nothing left to protect
+		a.stop() // finished (or killed); nothing left to protect
 		return
 	}
 	m, err := a.s.mech(a.node)
@@ -81,7 +122,7 @@ func (a *ckptAgent) pump() {
 	if !a.s.NoFencing {
 		tgt = storage.FencedAt(tgt, a.s.Fence, a.epoch)
 	}
-	tk, err := mechanism.Checkpoint(m, n.K, p, tgt, nil)
+	tk, err := a.capture(m, n, p, tgt)
 	if err != nil {
 		if errors.Is(err, storage.ErrFenced) {
 			// The server told us another incarnation owns the job now:
@@ -93,20 +134,20 @@ func (a *ckptAgent) pump() {
 				n.K.Exit(p, 137)
 			}
 			n.K.Procs.Remove(p.PID)
-			a.stopped = true
+			a.stop()
 			return
 		}
 		a.s.Counters.Inc("agent.ckpt_failed", 1)
 		return // transient storage trouble: try again next interval
 	}
+	a.acked++
+	if a.trk != nil {
+		// The collection behind this capture is durably published; it
+		// no longer needs carrying into the next delta.
+		a.trk.Commit()
+	}
 	if a.epoch == a.s.Fence.Epoch() {
-		// Current incarnation: advertise the new leaf for recovery.
-		a.s.Checkpoints++
-		a.s.lastLeaf = tk.Img.ObjectName()
-		a.s.lastNode = a.node
-		a.s.lastLocal = false
-		a.s.lastCkptDur = tk.Total()
-		a.s.emit(EvAck, a.node, a.epoch, a.s.lastLeaf)
+		a.s.noteAck(a, tk, tgt)
 	} else {
 		// A stale writer slipped a commit past the (disabled) fence:
 		// this is a split-brain double commit, and it may have replaced
@@ -114,4 +155,113 @@ func (a *ckptAgent) pump() {
 		a.s.Counters.Inc("fence.double_commits", 1)
 		a.s.emit(EvStaleCommit, a.node, a.epoch, tk.Img.ObjectName())
 	}
+}
+
+// capture takes one checkpoint: a full image through the mechanism's
+// plain path, or — with incremental shipping on and a capable mechanism
+// — a tracker-driven delta chained onto the previous capture, rebased
+// to a fresh full image every rebaseEvery rounds.
+func (a *ckptAgent) capture(m mechanism.Mechanism, n *Node, p *proc.Process, tgt storage.Target) (*mechanism.Ticket, error) {
+	dr, ok := m.(mechanism.DeltaRequester)
+	if !a.s.Incremental || !ok {
+		return mechanism.Checkpoint(m, n.K, p, tgt, nil)
+	}
+	// The incarnation's first successful checkpoint is always a rebase:
+	// chains never span incarnations (the previous incarnation's chain
+	// stays untouched until this full image supersedes it).
+	rebase := a.acked%a.s.rebaseEvery() == 0
+	var trk checkpoint.Tracker
+	switch {
+	case a.trk == nil:
+		// Arm one tracker per incarnation, node-locally. Its first
+		// collection returns everything resident, so passing it on the
+		// incarnation's initial rebase still yields a complete image.
+		t := checkpoint.NewCarryTracker(checkpoint.NewKernelWPTracker(n.K, p))
+		if err := t.Arm(); err != nil {
+			a.s.Counters.Inc("agent.trk_failed", 1)
+		} else {
+			a.trk = t
+			trk = t
+		}
+	case !rebase:
+		trk = a.trk
+	default:
+		// Rebase with a live tracker: capture WITHOUT it. A full image
+		// must cover every resident page; a Collect here would return
+		// only this epoch's dirty set — a hole in every delta hanging
+		// off the rebase. The uncollected dirty set keeps accumulating,
+		// so the next delta ships a safe superset.
+	}
+	t, err := dr.RequestDelta(n.K, p, tgt, nil, trk, a.epoch, rebase)
+	if err != nil {
+		return nil, err
+	}
+	if err := mechanism.WaitTicket(n.K, t, 5*simtime.Minute); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// noteAck records a current-epoch acknowledged checkpoint in the
+// supervisor's recovery pointers and, when a rebase made the prior
+// history unreachable, garbage-collects it.
+func (s *Supervisor) noteAck(a *ckptAgent, tk *mechanism.Ticket, tgt storage.Target) {
+	obj := tk.Img.ObjectName()
+	s.Checkpoints++
+	s.lastNode = a.node
+	s.lastLocal = false
+	s.lastCkptDur = tk.Total()
+	s.Counters.Inc("ckpt.bytes_shipped", int64(tk.Stats.EncodedBytes))
+	var retire []string
+	if tk.Img.Mode == checkpoint.ModeIncremental {
+		s.Counters.Inc("ckpt.delta_acks", 1)
+	} else {
+		s.Counters.Inc("ckpt.full_acks", 1)
+		// A full image supersedes the job's entire prior history: the
+		// previous chain and any fenced-off incarnation's leftovers are
+		// unreachable from the recovery pointer from here on — and only
+		// from here on, which is why GC waits for exactly this ack.
+		retire = append(s.pendingRetire, s.chainObjs...)
+		s.pendingRetire = nil
+		s.chainObjs = nil
+		s.lastFull = obj
+	}
+	s.chainObjs = append(s.chainObjs, obj)
+	s.lastLeaf = obj
+	s.emit(EvAck, a.node, a.epoch, obj)
+	if s.Incremental && len(retire) > 0 {
+		s.retire(a, tgt, retire, obj)
+	}
+}
+
+// retire garbage-collects superseded checkpoint objects through the
+// agent's fenced target: GC is a chain-head mutation, so a stale
+// incarnation's deletes bounce off the fence exactly like its publishes
+// would — a zombie can never unlink images the live chain still needs.
+func (s *Supervisor) retire(a *ckptAgent, tgt storage.Target, objs []string, keep string) {
+	var list []string
+	for _, o := range objs {
+		if o == keep || o == s.lastLeaf || o == s.lastFull {
+			continue // never GC anything a recovery pointer reaches
+		}
+		list = append(list, o)
+	}
+	deleted, pending, err := storage.RetireChain(tgt, list)
+	for _, o := range deleted {
+		s.Counters.Inc("ckpt.retired", 1)
+		s.emit(EvRetire, a.node, a.epoch, o)
+	}
+	if err == nil {
+		return
+	}
+	if errors.Is(err, storage.ErrFenced) {
+		// Superseded mid-sweep: the live incarnation owns the garbage
+		// list now; touching it further would race its chain.
+		s.Counters.Inc("fence.gc_rejected", 1)
+		return
+	}
+	// Transient storage trouble: keep the tail queued for the sweep
+	// after the next rebase.
+	s.Counters.Inc("ckpt.gc_deferred", 1)
+	s.pendingRetire = append(s.pendingRetire, pending...)
 }

@@ -44,6 +44,10 @@ const (
 	// EvComplete: the job finished; Object carries the result
 	// fingerprint in hex.
 	EvComplete EventKind = "complete"
+	// EvRetire: chain garbage collection deleted the superseded
+	// checkpoint Object after a rebase made it unreachable from the
+	// recovery pointer.
+	EvRetire EventKind = "retire"
 )
 
 // Event is one entry of the supervisor's orchestration log.

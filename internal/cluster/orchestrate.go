@@ -273,6 +273,18 @@ type Supervisor struct {
 	// UnsafeCommit disables atomic image commit (legacy in-place writes)
 	// — the torn-image contrast for experiments and tests.
 	UnsafeCommit bool
+	// Incremental makes the node-local agents ship delta chains: each
+	// incarnation arms a dirty-page tracker and publishes only the pages
+	// written since the previous checkpoint, chained onto it. Requires a
+	// mechanism implementing mechanism.DeltaRequester; others silently
+	// fall back to full images. Autonomic mode only.
+	Incremental bool
+	// RebaseEvery bounds the chain when Incremental is set: every Nth
+	// checkpoint is a fresh full image (default 8), bounding both restore
+	// latency and the blast radius of a lost delta. The first checkpoint
+	// of every incarnation is always full — chains never span
+	// incarnations.
+	RebaseEvery int
 	// Counters receives ckpt.* orchestration counters (defaults to the
 	// cluster's shared counter set).
 	Counters *trace.Counters
@@ -315,6 +327,16 @@ type Supervisor struct {
 	lastCkptDur simtime.Duration
 	agents      []*ckptAgent
 
+	// Chain bookkeeping (incremental shipping). lastFull is the newest
+	// acked full image — the fallback anchor when the chain under
+	// lastLeaf will not load. chainObjs lists the live chain's acked
+	// objects oldest-first; pendingRetire holds superseded chains that
+	// become deletable only once the next full ack makes them
+	// unreachable from the recovery pointer.
+	lastFull      string
+	chainObjs     []string
+	pendingRetire []string
+
 	// Results
 	Completed   bool
 	Fingerprint uint64
@@ -346,20 +368,7 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 	deadline := s.C.Now().Add(budget)
 	lastObs := s.C.Now()
 	for s.C.Now() < deadline {
-		iv := s.Interval
-		if s.Adaptive {
-			// Young's interval from the measured checkpoint cost and the
-			// online MTBF estimate (§1's self-adjusting behaviour).
-			cost := s.lastCkptDur
-			if cost <= 0 {
-				cost = 10 * simtime.Millisecond
-			}
-			iv = YoungInterval(cost, s.Estimator.Estimate())
-			if iv <= 0 || iv > s.Interval*100 {
-				iv = s.Interval
-			}
-		}
-		s.C.RunFor(iv)
+		s.C.RunFor(s.agentInterval())
 		s.Estimator.ObserveUptime(s.C.Now().Sub(lastObs))
 		lastObs = s.C.Now()
 
@@ -408,6 +417,43 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 	s.Makespan = s.C.Now().Sub(start)
 	return nil
 }
+
+// agentInterval is the single checkpoint-interval policy, consulted by
+// the classic loop each round and by the node-local agents each pump:
+// the fixed Interval, or — when Adaptive — Young's interval from the
+// measured checkpoint cost and the online MTBF estimate (§1's
+// self-adjusting behaviour). A shrinking MTBF estimate therefore
+// shortens the very next checkpoint gap in both modes.
+func (s *Supervisor) agentInterval() simtime.Duration {
+	if !s.Adaptive || s.Estimator == nil {
+		return s.Interval
+	}
+	cost := s.lastCkptDur
+	if cost <= 0 {
+		cost = 10 * simtime.Millisecond
+	}
+	iv := YoungInterval(cost, s.Estimator.Estimate())
+	if iv <= 0 || iv > s.Interval*100 {
+		return s.Interval
+	}
+	return iv
+}
+
+// rebaseEvery returns the configured chain bound (default 8).
+func (s *Supervisor) rebaseEvery() int {
+	if s.RebaseEvery > 0 {
+		return s.RebaseEvery
+	}
+	return 8
+}
+
+// LastLeaf returns the object name of the newest acknowledged
+// checkpoint — the recovery pointer — or "" before the first ack.
+func (s *Supervisor) LastLeaf() string { return s.lastLeaf }
+
+// LiveAgents returns how many armed, unstopped checkpoint agents the
+// supervisor holds (stopped agents are compacted out by pumpAgents).
+func (s *Supervisor) LiveAgents() int { return len(s.agents) }
 
 // nodeMech remembers which kernel a cached mechanism was installed on: a
 // reboot replaces the node's kernel, and a mechanism bound to the dead
@@ -548,34 +594,19 @@ func (s *Supervisor) recover() error {
 	if spare < 0 {
 		return errors.New("cluster: no spare node")
 	}
-	var chain []*checkpoint.Image
-	if s.lastLeaf != "" {
-		var src storage.Target
-		if s.lastLocal {
-			src = s.C.Node(s.lastNode).Disk // unreachable if that node is down
-		} else {
-			src = s.C.Node(spare).Remote()
-		}
-		if src.Available() {
-			ch, err := checkpoint.LoadChain(src, nil, s.lastLeaf)
-			switch {
-			case err == nil:
-				chain = ch
-			case errors.Is(err, checkpoint.ErrCorrupt):
-				// A torn or silently truncated image reached restore — the
-				// exact failure atomic commit exists to prevent.
-				s.Counters.Inc("ckpt.torn", 1)
-			case errors.Is(err, storage.ErrNotFound):
-				// The committed image vanished (a lost in-place overwrite).
-				s.Counters.Inc("ckpt.lost", 1)
-			}
-		}
+	var src storage.Target
+	if s.lastLocal {
+		src = s.C.Node(s.lastNode).Disk // unreachable if that node is down
+	} else {
+		src = s.C.Node(spare).Remote()
 	}
+	chain := s.loadRecoveryChain(src)
 	if chain == nil {
 		// Nothing recoverable: start over (the paper's warning about
 		// local-only storage).
 		s.FromScratch++
 		s.lastLeaf = ""
+		s.lastFull = ""
 		s.Restarts++
 		return s.start(spare)
 	}
@@ -596,6 +627,42 @@ func (s *Supervisor) recover() error {
 	s.pid = p.PID
 	s.Restarts++
 	return nil
+}
+
+// loadRecoveryChain fetches the newest restorable chain from src: the
+// full ancestry of lastLeaf, or — when a mid-chain image is torn or
+// lost — the chain of the last acked full image, the newest intact
+// ancestor the supervisor still holds a name for. Returns nil when
+// neither loads (scratch restart).
+func (s *Supervisor) loadRecoveryChain(src storage.Target) []*checkpoint.Image {
+	if s.lastLeaf == "" || src == nil || !src.Available() {
+		return nil
+	}
+	chain, err := checkpoint.LoadChain(src, nil, s.lastLeaf)
+	if err == nil {
+		return chain
+	}
+	switch {
+	case errors.Is(err, checkpoint.ErrCorrupt):
+		// A torn or silently truncated image reached restore — the
+		// exact failure atomic commit exists to prevent.
+		s.Counters.Inc("ckpt.torn", 1)
+	case errors.Is(err, storage.ErrNotFound):
+		// A committed image vanished (a lost in-place overwrite, or a
+		// chain whose ancestor was wrongly garbage-collected).
+		s.Counters.Inc("ckpt.lost", 1)
+	}
+	if s.lastFull == "" || s.lastFull == s.lastLeaf {
+		return nil
+	}
+	// Torn-chain fallback: rewind the recovery pointer to the last full
+	// image. The deltas after it are lost, the job is not.
+	chain, err = checkpoint.LoadChain(src, nil, s.lastFull)
+	if err != nil {
+		return nil
+	}
+	s.Counters.Inc("ckpt.chain_fallback", 1)
+	return chain
 }
 
 // runAutonomic is the detector-driven main loop: the supervisor sits on
@@ -693,29 +760,22 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 func (s *Supervisor) recoverFenced() error {
 	epoch := s.Fence.Advance()
 	s.emit(EvFailover, s.node, epoch, "")
+	// The superseded incarnation's chain is still the recovery pointer's
+	// ancestry: it must survive on the server until the next
+	// incarnation's first full ack supersedes it. Queue it for retire —
+	// deletion happens only after that ack, never here.
+	s.pendingRetire = append(s.pendingRetire, s.chainObjs...)
+	s.chainObjs = nil
 	spare := s.Detector.PickHealthy(s.node)
 	if spare < 0 {
 		return errors.New("cluster: no unsuspected spare node")
 	}
-	var chain []*checkpoint.Image
-	if s.lastLeaf != "" {
-		src := s.C.Node(spare).Remote()
-		if src.Available() {
-			ch, err := checkpoint.LoadChain(src, nil, s.lastLeaf)
-			switch {
-			case err == nil:
-				chain = ch
-			case errors.Is(err, checkpoint.ErrCorrupt):
-				s.Counters.Inc("ckpt.torn", 1)
-			case errors.Is(err, storage.ErrNotFound):
-				s.Counters.Inc("ckpt.lost", 1)
-			}
-		}
-	}
+	chain := s.loadRecoveryChain(s.C.Node(spare).Remote())
 	s.Restarts++
 	if chain == nil {
 		s.FromScratch++
 		s.lastLeaf = ""
+		s.lastFull = ""
 		s.emit(EvScratch, spare, epoch, "")
 		if err := s.start(spare); err != nil {
 			return err

@@ -337,6 +337,36 @@ func TestE12DeterministicReplay(t *testing.T) {
 	}
 }
 
+// TestE14DeltaWinsAtLowDirtyRate: the acceptance shape of E14 — at a low
+// dirty rate delta chains ship substantially fewer bytes per checkpoint
+// than full images, and the price is a longer recovery chain with a
+// larger storage read time.
+func TestE14DeltaWinsAtLowDirtyRate(t *testing.T) {
+	full := e14Run(0.02, false, 0, 250)
+	delta := e14Run(0.02, true, 8, 250)
+	if !full.completed || !delta.completed {
+		t.Fatalf("completed: full=%v delta=%v", full.completed, delta.completed)
+	}
+	if delta.bytesPerCkpt() > 0.7*full.bytesPerCkpt() {
+		t.Fatalf("delta %.0f B/ckpt not ≪ full %.0f B/ckpt",
+			delta.bytesPerCkpt(), full.bytesPerCkpt())
+	}
+	if delta.deltaAcks == 0 || delta.retired == 0 {
+		t.Fatalf("delta run shipped no deltas (%d) or retired nothing (%d)",
+			delta.deltaAcks, delta.retired)
+	}
+	if full.chainLen != 1 {
+		t.Fatalf("full-image recovery chain length %d, want 1", full.chainLen)
+	}
+	if delta.chainLen <= 1 {
+		t.Fatalf("delta recovery chain length %d, want >1", delta.chainLen)
+	}
+	if delta.restoreMs <= full.restoreMs {
+		t.Fatalf("chain restore read %.3f ms not above full %.3f ms — tradeoff missing",
+			delta.restoreMs, full.restoreMs)
+	}
+}
+
 // TestE13ChaosSweepContrast: the shipped build survives a seed block
 // with zero violations; the fencing-disabled build is caught by the
 // double-commit checker within the same block.

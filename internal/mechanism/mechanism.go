@@ -73,6 +73,24 @@ type Mechanism interface {
 	Restart(k *kernel.Kernel, chain []*checkpoint.Image, enqueue bool) (*proc.Process, error)
 }
 
+// DeltaRequester is implemented by mechanisms whose initiation path can
+// ship tracker-driven incremental deltas for an orchestration layer that
+// owns the chain policy (the cluster's node-local agents).
+type DeltaRequester interface {
+	Mechanism
+	// RequestDelta initiates a checkpoint of p to tgt chained onto the
+	// mechanism's previous capture of p. trk supplies the dirty ranges;
+	// nil captures everything resident. rebase forgets the existing chain
+	// first, so the capture publishes a standalone full image — callers
+	// must pass a nil (or fresh, never-collected) trk on rebase rounds,
+	// since a full image built from one epoch's dirty set would be a
+	// silent hole. epoch namespaces the chain's object names so chains
+	// from different incarnations cannot collide on a reused PID.
+	// Completion is asynchronous; wait with WaitTicket.
+	RequestDelta(k *kernel.Kernel, p *proc.Process, tgt storage.Target, env *storage.Env,
+		trk checkpoint.Tracker, epoch uint64, rebase bool) (*Ticket, error)
+}
+
 // ErrUnsupported is returned when a mechanism cannot handle the process
 // (e.g. a single-threaded-only checkpointer asked to capture threads).
 var ErrUnsupported = errors.New("mechanism: unsupported process")
@@ -134,6 +152,15 @@ func (s *Seqs) Commit(img *checkpoint.Image) {
 // Reset forgets a PID's history (process exited or migrated away).
 func (s *Seqs) Reset(pid proc.PID) {
 	delete(s.seq, pid)
+	delete(s.parent, pid)
+}
+
+// Rebase forgets only a PID's parent link, keeping the sequence counter
+// monotonic: the next capture becomes a full image under a fresh object
+// name. Resetting the counter instead would republish over names an
+// earlier chain generation already used — fatal once GC retires those
+// names while a later generation is reoccupying them.
+func (s *Seqs) Rebase(pid proc.PID) {
 	delete(s.parent, pid)
 }
 

@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/trace"
+)
+
+// A delta may only be published onto a durable parent; with the parent
+// present the publish is atomic like any other.
+func TestPutChainedRequiresDurableParent(t *testing.T) {
+	base := NewLocal("d", costmodel.Default2005(), nil)
+
+	err := PutChained(base, "ckpt/pid1/seq2", "ckpt/pid1/seq1", []byte("delta"), nil)
+	if !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("publish onto missing parent err = %v, want ErrBrokenChain", err)
+	}
+	if _, rerr := base.ReadObject("ckpt/pid1/seq2", nil); rerr == nil {
+		t.Fatal("orphan delta was committed despite the broken chain")
+	}
+
+	if err := PutAtomic(base, "ckpt/pid1/seq1", []byte("full"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := PutChained(base, "ckpt/pid1/seq2", "ckpt/pid1/seq1", []byte("delta"), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := base.ReadObject("ckpt/pid1/seq2", nil)
+	if err != nil || string(data) != "delta" {
+		t.Fatalf("chained publish landed as %q, %v", data, err)
+	}
+
+	// An empty parent is a full image: plain atomic publish.
+	if err := PutChained(base, "ckpt/pid1/seq3", "", []byte("full2"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// GC goes through the same epoch fence as publishing: a superseded
+// incarnation's deletes bounce, so a zombie can never unlink images the
+// live chain still needs.
+func TestFenceRejectsStaleDelete(t *testing.T) {
+	base := NewLocal("d", costmodel.Default2005(), nil)
+	ctr := trace.NewCounters()
+	dom := NewFenceDomain("job", ctr)
+
+	e1 := dom.Advance()
+	w1 := FencedAt(base, dom, e1)
+	if err := PutAtomic(w1, "ckpt/pid1/seq1", []byte("live"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := FencedAt(base, dom, dom.Advance())
+	err := w1.Delete("ckpt/pid1/seq1")
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale delete err = %v, want ErrFenced", err)
+	}
+	if got := ctr.Get("fence.rejected"); got != 1 {
+		t.Fatalf("fence.rejected = %d, want 1", got)
+	}
+	if data, rerr := base.ReadObject("ckpt/pid1/seq1", nil); rerr != nil || string(data) != "live" {
+		t.Fatalf("fenced delete mutated the image: %q, %v", data, rerr)
+	}
+	// The live incarnation's delete passes through.
+	if err := w2.Delete("ckpt/pid1/seq1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RetireChain is idempotent over already-missing objects and, on a real
+// error, returns the undeleted tail for a later retry.
+func TestRetireChainPartialSweep(t *testing.T) {
+	base := NewLocal("d", costmodel.Default2005(), nil)
+	for _, o := range []string{"a", "c"} {
+		if err := PutAtomic(base, o, []byte(o), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "b" is already gone: the sweep must skip it, not stop.
+	deleted, pending, err := RetireChain(base, []string{"a", "b", "c"})
+	if err != nil || len(pending) != 0 {
+		t.Fatalf("sweep err=%v pending=%v, want clean", err, pending)
+	}
+	if len(deleted) != 2 || deleted[0] != "a" || deleted[1] != "c" {
+		t.Fatalf("deleted = %v, want [a c]", deleted)
+	}
+
+	// A fence rejection mid-sweep stops it and hands back the tail.
+	ctr := trace.NewCounters()
+	dom := NewFenceDomain("job", ctr)
+	stale := FencedAt(base, dom, dom.Advance())
+	for _, o := range []string{"x", "y"} {
+		if err := PutAtomic(base, o, []byte(o), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dom.Advance()
+	deleted, pending, err = RetireChain(stale, []string{"x", "y"})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale sweep err = %v, want ErrFenced", err)
+	}
+	if len(deleted) != 0 {
+		t.Fatalf("stale sweep deleted %v", deleted)
+	}
+	if len(pending) != 2 || pending[0] != "x" {
+		t.Fatalf("pending = %v, want [x y]", pending)
+	}
+}

@@ -85,3 +85,16 @@ func (f fencedTarget) Publish(staging, final string, env *Env) error {
 	}
 	return f.Target.Publish(staging, final, env)
 }
+
+// Delete implements Target: object deletion is the other commit-point
+// mutation. Chain GC retires superseded images through its fenced
+// target, and a stale incarnation's retire list may name objects the
+// live chain still needs — fencing it here is what keeps a zombie's
+// garbage collection from breaking a live chain.
+func (f fencedTarget) Delete(object string) error {
+	if f.epoch < f.dom.Epoch() {
+		f.dom.ctr.Inc("fence.rejected", 1)
+		return fmt.Errorf("%w: %s epoch %d, current %d", ErrFenced, f.dom.name, f.epoch, f.dom.Epoch())
+	}
+	return f.Target.Delete(object)
+}

@@ -24,10 +24,14 @@ import (
 type captureOpts struct {
 	// mech is the mechanism name stamped into images.
 	mech string
-	// trk, when non-nil, provides incremental deltas (TICK).
+	// trk, when non-nil, provides incremental deltas (TICK, delta
+	// requests from the cluster agents).
 	trk checkpoint.Tracker
 	// seqs provides sequence numbers and chaining.
 	seqs *mechanism.Seqs
+	// epoch namespaces image object names by incarnation (delta chains
+	// shipped by fenced cluster agents); zero keeps legacy names.
+	epoch uint64
 	// kernelExtras captures sockets/shm (ZAP pods).
 	kernelExtras bool
 	// includeFileContents snapshots every open regular file into the
@@ -116,6 +120,7 @@ func captureKernel(k *kernel.Kernel, self, target *proc.Process, tgt storage.Tar
 		Hostname:  k.Cfg.Hostname,
 		Seq:       seq,
 		Parent:    parent,
+		Epoch:     opts.epoch,
 		Now:       k.Now(),
 	}
 	if opts.forkConsistency {

@@ -113,6 +113,45 @@ func (m *threadMech) request(mech mechanism.Mechanism, k *kernel.Kernel, p *proc
 	return t, nil
 }
 
+// requestDelta is request with the chain knobs an orchestration layer
+// needs for incremental shipping: the caller's tracker supplies the
+// dirty ranges, epoch namespaces the object names by incarnation, and
+// rebase forgets the PID's chain so the capture publishes a standalone
+// full image. The rebase/tracker contract is the caller's (see
+// mechanism.DeltaRequester): a rebase round must pass a nil or fresh
+// tracker, never one whose collections are already on the wire.
+func (m *threadMech) requestDelta(mech mechanism.Mechanism, k *kernel.Kernel, p *proc.Process, tgt storage.Target, env *storage.Env,
+	trk checkpoint.Tracker, epoch uint64, rebase bool) (*mechanism.Ticket, error) {
+	if m.k != k {
+		return nil, mechanism.ErrNotInstalled
+	}
+	if err := checkStorageKind(mech, tgt); err != nil {
+		return nil, err
+	}
+	if p.Multithreaded() && !mech.Features().Multithreaded {
+		return nil, fmt.Errorf("%w: %s cannot checkpoint multithreaded processes", mechanism.ErrUnsupported, m.name)
+	}
+	if rebase {
+		m.seqs.Rebase(p.PID)
+	}
+	k.Charge(3*k.CM.Syscall(), "ioctl-tool")
+	of, err := k.FS.Open(m.devPath, fs.ORead|fs.OWrite)
+	if err != nil {
+		return nil, err
+	}
+	defer of.Close()
+	t := &mechanism.Ticket{RequestedAt: k.Now()}
+	opts := m.optsFor()
+	opts.seqs = m.seqs
+	opts.trk = trk
+	opts.epoch = epoch
+	req := &ckptRequest{target: p, tgt: tgt, env: env, opts: opts, ticket: t}
+	if err := of.Ioctl(nil, IoctlCheckpoint, req); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // CRAK models Zhong & Nieh's CRAK [40]: the first kernel-module
 // checkpoint/restart for Linux, a kernel thread reached through a /dev
 // node's ioctl interface; migration can be disabled to store the state
@@ -173,6 +212,14 @@ func (m *CRAK) Setup(k *kernel.Kernel, p *proc.Process) error { return nil }
 // Request implements mechanism.Mechanism.
 func (m *CRAK) Request(k *kernel.Kernel, p *proc.Process, tgt storage.Target, env *storage.Env) (*mechanism.Ticket, error) {
 	return m.request(m, k, p, tgt, env)
+}
+
+// RequestDelta implements mechanism.DeltaRequester: the same ioctl path
+// as Request, shipping only the tracker's dirty ranges chained onto the
+// previous capture.
+func (m *CRAK) RequestDelta(k *kernel.Kernel, p *proc.Process, tgt storage.Target, env *storage.Env,
+	trk checkpoint.Tracker, epoch uint64, rebase bool) (*mechanism.Ticket, error) {
+	return m.requestDelta(m, k, p, tgt, env, trk, epoch, rebase)
 }
 
 // Restart implements mechanism.Mechanism.

@@ -142,15 +142,24 @@ func (m *TICK) Request(k *kernel.Kernel, p *proc.Process, tgt storage.Target, en
 	}
 	// Chain bounding: after MaxChain deltas, start a fresh full image so
 	// restart never replays an unbounded chain.
+	rebase := false
 	if m.MaxChain > 0 && m.deltas[p.PID] >= m.MaxChain {
-		m.seqs.Reset(p.PID)
+		m.seqs.Rebase(p.PID)
 		m.deltas[p.PID] = 0
+		rebase = true
 	}
 	m.deltas[p.PID]++
 	t := &mechanism.Ticket{RequestedAt: k.Now()}
 	opts := m.optsFor()
 	opts.seqs = m.seqs
-	opts.trk = trk
+	if !rebase {
+		// A rebase round deliberately captures without the tracker: the
+		// fresh full image must cover every resident page, and a Collect
+		// here would return only this epoch's dirty set — a silent hole in
+		// every chain hanging off the rebase. The uncollected dirty set
+		// keeps accumulating, so the next delta ships a safe superset.
+		opts.trk = trk
+	}
 	m.d.enqueue(&ckptRequest{target: p, tgt: tgt, env: env, opts: opts, ticket: t})
 	return t, nil
 }
