@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-ckpt check vet race fuzz chaos chaos-incremental
+.PHONY: all build test bench bench-ckpt bench-parallel check vet race fuzz chaos chaos-incremental
 
 all: build test
 
@@ -24,6 +24,12 @@ bench:
 # rates (experiment E14), emitted machine-readable for trend tracking.
 bench-ckpt:
 	$(GO) run ./cmd/crbench -benchckpt BENCH_incremental.json
+
+# Parallel-capture / pipelined-shipping bench (experiment E15): capture
+# throughput across shard-worker counts, publish latency p50/p99 through
+# the pipelined agent path, end-of-run restore latency.
+bench-parallel:
+	$(GO) run ./cmd/crbench -bench5 BENCH_5.json
 
 vet:
 	$(GO) vet ./...

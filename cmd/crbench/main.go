@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E14 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E15 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -10,6 +10,10 @@
 //	crbench -quick     # smaller parameters (CI-sized)
 //	crbench -benchckpt BENCH_incremental.json
 //	                   # write the E14 full-vs-delta summaries as JSON
+//	crbench -bench5 BENCH_5.json
+//	                   # write the E15 parallel-capture / pipelined-shipping
+//	                   # bench (capture throughput, publish and restore
+//	                   # latency) as JSON
 package main
 
 import (
@@ -28,7 +32,31 @@ func main() {
 	sel := flag.String("e", "", "comma-separated experiment numbers (default: all)")
 	quick := flag.Bool("quick", false, "smaller parameters")
 	benchCkpt := flag.String("benchckpt", "", "write the E14 incremental-shipping bench to this JSON file and exit")
+	bench5 := flag.String("bench5", "", "write the E15 parallel-capture bench to this JSON file and exit")
 	flag.Parse()
+
+	if *bench5 != "" {
+		s := experiments.E15Bench(*quick)
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*bench5, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		for _, pt := range s.Capture {
+			fmt.Printf("capture %d worker(s): %.2f ms, %.1f MB/s (%.2fx)\n",
+				pt.Workers, pt.LatencyMs, pt.ThroughputMBs, pt.Speedup)
+		}
+		fmt.Printf("publish latency: p50 %.2f ms, p99 %.2f ms over %d publishes (%d batched, %d stalls)\n",
+			s.Publish.P50Ms, s.Publish.P99Ms, s.Publish.N, s.Publish.Batched, s.Publish.Stalls)
+		fmt.Printf("restore: chain of %d read in %.2f ms\n", s.Restore.ChainLen, s.Restore.ReadMs)
+		fmt.Println("wrote", *bench5)
+		return
+	}
 
 	if *benchCkpt != "" {
 		summaries := experiments.E14Bench(*quick)
@@ -55,8 +83,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 14 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..14)\n", part)
+			if err != nil || n < 1 || n > 15 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..15)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -99,6 +127,7 @@ func main() {
 		{12, func() *trace.Table { return experiments.E12Detection(losses) }},
 		{13, func() *trace.Table { return experiments.E13ChaosSweep(1, chaosSeeds) }},
 		{14, func() *trace.Table { return experiments.E14Incremental(*quick) }},
+		{15, func() *trace.Table { return experiments.E15Parallel(*quick) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

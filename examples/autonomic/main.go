@@ -41,7 +41,7 @@ func run() {
 		inj.PermanentFrac = 0.2
 		c.SetInjector(inj)
 
-		sup := &repro.Supervisor{
+		sup := repro.MustNewSupervisor(repro.SupervisorConfig{
 			C:            c,
 			MkMech:       func() repro.Mechanism { return repro.NewCRAK() },
 			Prog:         app,
@@ -49,7 +49,7 @@ func run() {
 			Interval:     8 * repro.Millisecond,
 			Adaptive:     true,
 			UseLocalDisk: useLocal,
-		}
+		})
 		if err := sup.Run(5 * repro.Second); err != nil {
 			log.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func runDetectorDriven() {
 		}
 	})
 
-	sup := &repro.Supervisor{
+	sup := repro.MustNewSupervisor(repro.SupervisorConfig{
 		C:           c,
 		MkMech:      func() repro.Mechanism { return repro.NewCRAK() },
 		Prog:        app,
@@ -103,7 +103,7 @@ func runDetectorDriven() {
 		Interval:    4 * repro.Millisecond,
 		Detector:    mon,
 		ControlNode: 4,
-	}
+	})
 	if err := sup.Run(5 * repro.Second); err != nil {
 		log.Fatal(err)
 	}

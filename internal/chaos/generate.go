@@ -123,5 +123,12 @@ func Generate(seed int64) *Spec {
 		sp.Incremental = true
 		sp.RebaseEvery = 2 + rng.Intn(7) // 2..8
 	}
+
+	// Pipelined shipping on about half the seeds, over fixed worker
+	// widths so a run never depends on the host's core count. Drawn after
+	// the Incremental block for the same replay-stability reason.
+	if rng.Float64() < 0.5 {
+		sp.Pipeline = []int{1, 2, 4}[rng.Intn(3)]
+	}
 	return sp
 }

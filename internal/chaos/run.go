@@ -97,7 +97,7 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 	}
 	mon := detector.NewMonitor(c, det, detector.Config{Period: sp.HBPeriod, Observer: sp.observer()}, c.Counters)
 
-	sup := &cluster.Supervisor{
+	sup, err := cluster.NewSupervisor(cluster.SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -108,6 +108,12 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 		Detector:    mon,
 		ControlNode: sp.observer(),
 		NoFencing:   sp.NoFencing,
+		Pipeline:    sp.pipelineConfig(),
+	})
+	if err != nil {
+		// A generated scenario that the supervisor itself rejects is a
+		// spec-level violation, not a crash.
+		return &Result{Spec: sp, Violations: []Violation{{Invariant: "spec", Detail: err.Error()}}}
 	}
 	sup.OnEvent = func(ev cluster.Event) {
 		for _, ck := range checkers {

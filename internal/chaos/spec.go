@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/simtime"
 )
 
@@ -97,6 +98,22 @@ type Spec struct {
 	// NoFencing disables epoch fencing — the deliberately-broken-build
 	// knob the double-commit checker must catch.
 	NoFencing bool `json:"nofence,omitempty"`
+
+	// Pipeline, when positive, runs the agents' pipelined shipping path
+	// with that many capture workers (fixed small values — 1, 2, 4 — so
+	// runs never depend on the host's core count). Zero keeps the
+	// synchronous path, and the default for replay lines predating the
+	// pipeline.
+	Pipeline int `json:"pipeline,omitempty"`
+}
+
+// pipelineConfig translates the Pipeline knob into the supervisor's
+// config (nil = synchronous shipping).
+func (sp *Spec) pipelineConfig() *cluster.PipelineConfig {
+	if sp.Pipeline <= 0 {
+		return nil
+	}
+	return &cluster.PipelineConfig{CaptureWorkers: sp.Pipeline}
 }
 
 // observer returns the control-plane node index.

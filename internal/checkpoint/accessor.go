@@ -41,6 +41,24 @@ type Accessor interface {
 	KernelState() bool
 }
 
+// ParallelReader is implemented by accessors whose memory reads may be
+// issued from worker goroutines once the copy cost is billed up-front.
+// UserAccessor deliberately does not implement it: a user-level
+// checkpointer reads through syscalls in its own context, so its capture
+// stays sequential even when the request asks for parallelism — the
+// kernel-level advantage the paper's §4.1 describes, restated for
+// multicore capture.
+type ParallelReader interface {
+	// PrepareParallelRead bills the cost of reading total payload bytes
+	// with workers concurrent readers and returns a read function that is
+	// safe for concurrent use and performs no further accounting.
+	PrepareParallelRead(total, workers int) func(addr mem.Addr, buf []byte) error
+}
+
+// parallelWorkerOverhead is the simulated fork/join cost charged per
+// worker of a sharded capture (thread wake + join handshake).
+const parallelWorkerOverhead = 500 * simtime.Nanosecond
+
 func signalRecords(st *sig.State) (disps []SigDispRecord, handlers map[sig.Signal]*sig.Handler) {
 	handlers = make(map[sig.Signal]*sig.Handler)
 	for _, h := range st.Handlers() {
@@ -93,6 +111,23 @@ func (a *KernelAccessor) ReadRange(addr mem.Addr, buf []byte) error {
 	a.K.EnsureAS(a.P)
 	a.K.Charge(a.K.CM.MemCopy(len(buf)), "kcopy")
 	return a.P.AS.ReadDirect(addr, buf)
+}
+
+// PrepareParallelRead implements ParallelReader. The kernel loads the
+// address space and bills the whole sharded copy up-front — the
+// parallelizable cost divided across workers plus a per-worker fork/join
+// charge — from the capturing goroutine, because the simulated clock is
+// single-threaded. The returned reader goes straight through the page
+// tables (a pure read) and is safe from worker goroutines.
+func (a *KernelAccessor) PrepareParallelRead(total, workers int) func(addr mem.Addr, buf []byte) error {
+	if workers < 1 {
+		workers = 1
+	}
+	a.K.EnsureAS(a.P)
+	cost := a.K.CM.MemCopy(total)/simtime.Duration(workers) +
+		simtime.Duration(workers)*parallelWorkerOverhead
+	a.K.Charge(cost, "kcopy-par")
+	return a.P.AS.ReadDirect
 }
 
 // FDs implements Accessor: the kernel reaches the inode of deleted files,

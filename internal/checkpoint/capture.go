@@ -2,6 +2,9 @@ package checkpoint
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/simos/mem"
 	"repro/internal/simos/proc"
@@ -16,6 +19,7 @@ type Stats struct {
 	EncodedBytes int // bytes written to storage
 	Extents      int
 	VMAs         int
+	Workers      int // capture worker pool size actually used (1 = sequential)
 	Duration     simtime.Duration
 	Object       string
 }
@@ -43,6 +47,15 @@ type Request struct {
 	Epoch uint64
 	// Now is the capture timestamp.
 	Now simtime.Time
+	// Parallelism shards the payload read and the image encode across a
+	// worker pool of that size. 0 or 1 keeps the sequential path; results
+	// are byte-identical either way, only the simulated capture time
+	// changes. Values above 1 take effect only when the accessor supports
+	// concurrent reads (ParallelReader) — user-level accessors read
+	// through syscalls and always capture sequentially. Callers that want
+	// host-sized capture pass DefaultParallelism() explicitly; defaulting
+	// to it here would make simulated results machine-dependent.
+	Parallelism int
 	// AsPID, when nonzero, overrides the PID recorded in the image (used
 	// by fork-consistency captures: the frozen child is captured, but the
 	// image belongs to the parent).
@@ -101,6 +114,12 @@ func Capture(req Request) (*Image, Stats, error) {
 		}
 		ranges = rs
 	}
+	workers := req.Parallelism
+	pr, canPar := acc.(ParallelReader)
+	if workers <= 1 || !canPar {
+		workers = 1
+	}
+
 	vmas := acc.VMAs()
 	for _, v := range vmas {
 		sec := VMASection{Start: v.Start, Length: v.Length, Kind: v.Kind, Name: v.Name, Prot: v.Prot}
@@ -118,6 +137,12 @@ func Capture(req Request) (*Image, Stats, error) {
 			}
 		}
 		for _, r := range vranges {
+			if workers > 1 {
+				// Sharded capture: allocate the extent now, fill it from a
+				// worker after the section walk.
+				sec.Extents = append(sec.Extents, Extent{Addr: r.Addr, Data: make([]byte, r.Length)})
+				continue
+			}
 			data := make([]byte, r.Length)
 			if err := acc.ReadRange(r.Addr, data); err != nil {
 				return nil, Stats{}, fmt.Errorf("checkpoint: read %#x+%d: %w", uint64(r.Addr), r.Length, err)
@@ -125,6 +150,11 @@ func Capture(req Request) (*Image, Stats, error) {
 			sec.Extents = append(sec.Extents, Extent{Addr: r.Addr, Data: data})
 		}
 		img.VMAs = append(img.VMAs, sec)
+	}
+	if workers > 1 {
+		if err := fillExtentsParallel(img, pr, workers); err != nil {
+			return nil, Stats{}, err
+		}
 	}
 
 	if req.AsPID != 0 {
@@ -146,31 +176,29 @@ func Capture(req Request) (*Image, Stats, error) {
 		PayloadBytes: img.PayloadBytes(),
 		Extents:      img.NumExtents(),
 		VMAs:         len(img.VMAs),
+		Workers:      workers,
 		Object:       img.ObjectName(),
 	}
 
 	if req.Target != nil {
-		encoded, err := img.EncodeBytes()
+		encoded, err := img.EncodeParallelBytes(workers)
 		if err != nil {
 			return nil, Stats{}, err
 		}
-		// Encoding cost ≈ one memcpy of the image.
-		env.Bill.Charge(reqCMCopy(req, len(encoded)), "encode")
+		// Encoding cost ≈ one memcpy of the image, divided across the
+		// worker pool plus its fork/join overhead when sharded.
+		env.Bill.Charge(encodeCost(len(encoded), workers), "encode")
 		// Atomic commit by default: stage, sync, publish — a crash
 		// mid-write can only tear the staging object, never a committed
-		// image. storage.Unsafe-wrapped targets take the legacy in-place
-		// path (the torn-image contrast for experiments).
-		switch {
-		case storage.IsUnsafe(req.Target):
-			err = storage.Put(req.Target, img.ObjectName(), encoded, env)
-		case mode == ModeIncremental:
-			// A delta is only durable if its whole ancestry is: refuse to
-			// publish onto a parent the target does not hold.
-			err = storage.PutChained(req.Target, img.ObjectName(), img.Parent, encoded, env)
-		default:
-			err = storage.PutAtomic(req.Target, img.ObjectName(), encoded, env)
+		// image. A delta also names its parent so storage refuses to
+		// publish onto an ancestry the target does not hold; Unsafe-wrapped
+		// targets take the legacy in-place path (the torn-image contrast
+		// for experiments). All three protocols live behind storage.Write.
+		opts := storage.WriteOptions{Atomic: true, Env: env}
+		if mode == ModeIncremental {
+			opts.Parent = img.Parent
 		}
-		if err != nil {
+		if err := storage.Write(req.Target, img.ObjectName(), encoded, opts); err != nil {
 			return nil, Stats{}, err
 		}
 		st.EncodedBytes = len(encoded)
@@ -178,11 +206,94 @@ func Capture(req Request) (*Image, Stats, error) {
 	return img, st, nil
 }
 
-// reqCMCopy estimates encode cost without forcing every caller to thread a
-// cost model: ~1.2 GB/s, the Default2005 memcpy rate.
-func reqCMCopy(_ Request, n int) simtime.Duration {
-	return simtime.Duration(float64(n) / 1.2e9 * float64(simtime.Second))
+// EncodeCost estimates the simulated time to encode an n-byte image with
+// a workers-wide pool — the charge Capture bills internally, exported for
+// orchestration layers that encode images themselves (the pipelined
+// cluster agents capture with a nil Target and encode on the node).
+func EncodeCost(n, workers int) simtime.Duration { return encodeCost(n, workers) }
+
+// encodeCost estimates encode time without forcing every caller to
+// thread a cost model: ~1.2 GB/s, the Default2005 memcpy rate, divided
+// across workers (plus fork/join overhead) when the encode is sharded.
+func encodeCost(n, workers int) simtime.Duration {
+	seq := simtime.Duration(float64(n) / 1.2e9 * float64(simtime.Second))
+	if workers <= 1 {
+		return seq
+	}
+	return seq/simtime.Duration(workers) + simtime.Duration(workers)*parallelWorkerOverhead
 }
+
+// readChunkBytes is the target payload of one parallel read job. Large
+// extents are split at this granularity so a handful of big contiguous
+// VMAs (the common Dense-workload shape) still spread across the pool.
+const readChunkBytes = 256 << 10
+
+// fillExtentsParallel reads every preallocated extent through a shared
+// concurrent-safe reader, splitting big extents into chunk jobs so load
+// balances across the pool. The cost is billed once, up-front, from the
+// capturing goroutine (the simulated clock cannot be advanced from
+// workers); the goroutines then only move bytes.
+func fillExtentsParallel(img *Image, pr ParallelReader, workers int) error {
+	type job struct {
+		addr mem.Addr
+		buf  []byte
+	}
+	var jobs []job
+	total := 0
+	for i := range img.VMAs {
+		for j := range img.VMAs[i].Extents {
+			e := &img.VMAs[i].Extents[j]
+			total += len(e.Data)
+			for off := 0; off < len(e.Data); off += readChunkBytes {
+				end := off + readChunkBytes
+				if end > len(e.Data) {
+					end = len(e.Data)
+				}
+				jobs = append(jobs, job{addr: e.Addr + mem.Addr(off), buf: e.Data[off:end]})
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	read := pr.PrepareParallelRead(total, workers)
+	var next int64 = -1
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				if err := read(j.addr, j.buf); err != nil {
+					errs[w] = fmt.Errorf("checkpoint: read %#x+%d: %w", uint64(j.addr), len(j.buf), err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefaultParallelism returns the host's available parallelism — the
+// right Parallelism for CLI tools and benches that want capture to run
+// as wide as the machine. Library code must opt in explicitly so
+// simulated results stay host-independent by default.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 
 // residentRangesOf lists resident page ranges of a single VMA (text
 // included for full captures: restart must reproduce the whole image).

@@ -84,7 +84,7 @@ func TestLoadChainSurfacesTornImages(t *testing.T) {
 		{"torn-mid-pages", len(data) / 2},
 		{"torn-at-crc", len(data) - 3},
 	} {
-		if err := storage.Put(disk, tc.name, data[:tc.keep], nil); err != nil {
+		if err := storage.Write(disk, tc.name, data[:tc.keep], storage.WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := LoadChain(disk, nil, tc.name); !errors.Is(err, ErrCorrupt) {
@@ -92,7 +92,7 @@ func TestLoadChainSurfacesTornImages(t *testing.T) {
 		}
 	}
 	// Sanity: the intact image loads.
-	if err := storage.PutAtomic(disk, "good", data, nil); err != nil {
+	if err := storage.Write(disk, "good", data, storage.WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
 	chain, err := LoadChain(disk, nil, "good")
@@ -109,16 +109,16 @@ func TestAuditClassifiesObjects(t *testing.T) {
 		t.Fatal(err)
 	}
 	disk := storage.NewLocal("d", costmodel.Default2005(), nil)
-	if err := storage.PutAtomic(disk, "good1", data, nil); err != nil {
+	if err := storage.Write(disk, "good1", data, storage.WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := storage.PutAtomic(disk, "good2", data, nil); err != nil {
+	if err := storage.Write(disk, "good2", data, storage.WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := storage.Put(disk, "torn", data[:len(data)/3], nil); err != nil {
+	if err := storage.Write(disk, "torn", data[:len(data)/3], storage.WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := storage.Put(disk, storage.StagingName("inflight"), data[:8], nil); err != nil {
+	if err := storage.Write(disk, storage.StagingName("inflight"), data[:8], storage.WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	intact, torn, staging := Audit(disk)

@@ -1,0 +1,81 @@
+// CRC-64 combination, the piece of algebra that lets the parallel
+// encoder shard an image across workers and still emit the exact trailer
+// the sequential encoder would: each worker checksums only its own byte
+// span, and the spans fold left-to-right with crc64Combine instead of a
+// second sequential pass over the whole payload.
+//
+// A CRC is linear over GF(2): CRC(A || B) can be computed from CRC(A),
+// CRC(B), and len(B) alone, by advancing CRC(A) through len(B) zero
+// bytes (a matrix power, built by repeated squaring of the one-zero-bit
+// operator) and XORing CRC(B). The pre/post inversion Go's hash/crc64
+// applies (init ^0, xorout ^0) cancels out of the identity, so the fold
+// works directly on Checksum-style values. This is the classic zlib
+// crc32_combine construction lifted to 64 bits.
+
+package checkpoint
+
+import "hash/crc64"
+
+// gf2MatrixTimes multiplies the 64x64 GF(2) matrix mat by the bit vector
+// vec.
+func gf2MatrixTimes(mat *[64]uint64, vec uint64) uint64 {
+	var sum uint64
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square = mat * mat.
+func gf2MatrixSquare(square, mat *[64]uint64) {
+	for n := 0; n < 64; n++ {
+		square[n] = gf2MatrixTimes(mat, mat[n])
+	}
+}
+
+// crc64Combine returns the CRC of the concatenation A||B given
+// crc1 = CRC(A), crc2 = CRC(B), and len2 = len(B), for the table the
+// image codec uses (crc64.ECMA, reflected).
+func crc64Combine(crc1, crc2 uint64, len2 int) uint64 {
+	if len2 <= 0 {
+		return crc1
+	}
+	var even, odd [64]uint64
+
+	// odd = the operator advancing a CRC by one zero *bit* (reflected
+	// polynomial in row 0, shift in the rest).
+	odd[0] = crc64.ECMA
+	row := uint64(1)
+	for n := 1; n < 64; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	gf2MatrixSquare(&even, &odd) // two zero bits
+	gf2MatrixSquare(&odd, &even) // four zero bits
+
+	// Square up to one zero byte, then apply operators for each set bit
+	// of len2, squaring as the bit weight doubles.
+	n := len2
+	for {
+		gf2MatrixSquare(&even, &odd)
+		if n&1 != 0 {
+			crc1 = gf2MatrixTimes(&even, crc1)
+		}
+		n >>= 1
+		if n == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even)
+		if n&1 != 0 {
+			crc1 = gf2MatrixTimes(&odd, crc1)
+		}
+		n >>= 1
+		if n == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}

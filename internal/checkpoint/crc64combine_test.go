@@ -1,0 +1,55 @@
+package checkpoint
+
+import (
+	"hash/crc64"
+	"math/rand"
+	"testing"
+)
+
+func TestCRC64Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 50; trial++ {
+		a := make([]byte, rng.Intn(5000))
+		b := make([]byte, rng.Intn(5000))
+		rng.Read(a)
+		rng.Read(b)
+		crcA := crc64.Checksum(a, crcTable)
+		crcB := crc64.Checksum(b, crcTable)
+		want := crc64.Checksum(append(append([]byte(nil), a...), b...), crcTable)
+		if got := crc64Combine(crcA, crcB, len(b)); got != want {
+			t.Fatalf("trial %d (len %d+%d): combine = %#x, want %#x",
+				trial, len(a), len(b), got, want)
+		}
+	}
+	// Edge cases: empty halves.
+	data := []byte("payload")
+	crc := crc64.Checksum(data, crcTable)
+	if got := crc64Combine(crc, crc64.Checksum(nil, crcTable), 0); got != crc {
+		t.Fatalf("combine with empty B: %#x, want %#x", got, crc)
+	}
+	if got := crc64Combine(crc64.Checksum(nil, crcTable), crc, len(data)); got != crc {
+		t.Fatalf("combine with empty A: %#x, want %#x", got, crc)
+	}
+}
+
+func TestCRC64CombineFold(t *testing.T) {
+	// Folding many shards left-to-right matches one sequential pass —
+	// the exact reduction the parallel encoder performs.
+	rng := rand.New(rand.NewSource(65))
+	full := make([]byte, 1<<16)
+	rng.Read(full)
+	want := crc64.Checksum(full, crcTable)
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		crc := uint64(0)
+		off := 0
+		for s := 0; s < shards; s++ {
+			end := (s + 1) * len(full) / shards
+			part := full[off:end]
+			crc = crc64Combine(crc, crc64.Checksum(part, crcTable), len(part))
+			off = end
+		}
+		if crc != want {
+			t.Fatalf("%d shards: folded crc %#x, want %#x", shards, crc, want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestEncodeParallelByteIdentical is the determinism contract: the
+// sharded encoder must produce exactly the bytes the sequential encoder
+// writes — trailer included — for every worker count.
+func TestEncodeParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		img := sampleImage(rng)
+		// Vary the shape: grow one VMA past several shard boundaries so
+		// the split path runs, and strip extras on some trials.
+		if trial%2 == 0 {
+			big := make([]byte, 3*shardTargetBytes+1234)
+			rng.Read(big)
+			img.VMAs[0].Extents = append(img.VMAs[0].Extents, Extent{Addr: img.VMAs[0].Start + 0x40000, Data: big})
+		}
+		if trial%3 == 0 {
+			img.Shm = nil
+			img.Sockets = nil
+		}
+		want, err := img.EncodeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			got, err := img.EncodeParallelBytes(workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trial %d workers %d: %d bytes differ from sequential (%d)",
+					trial, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestEncodeParallelEmptyVMAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	img := sampleImage(rng)
+	img.VMAs = nil
+	want, err := img.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := img.EncodeParallelBytes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("empty-VMA image differs from sequential encode")
+	}
+}
+
+// TestEncodeParallelDecodes closes the loop: a sharded encode must pass
+// the CRC trailer check and decode to the same logical image.
+func TestEncodeParallelDecodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	img := sampleImage(rng)
+	data, err := img.EncodeParallelBytes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != img.Seq || back.PID != img.PID || len(back.VMAs) != len(img.VMAs) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back.PayloadBytes() != img.PayloadBytes() {
+		t.Fatalf("payload bytes %d != %d", back.PayloadBytes(), img.PayloadBytes())
+	}
+}
+
+// TestEncodeParallelConcurrentImages encodes several images at once —
+// the pattern the pipelined agents create — and is the -race check that
+// the shared codec state (tables, helpers) is goroutine-safe.
+func TestEncodeParallelConcurrentImages(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			img := sampleImage(rng)
+			want, err := img.EncodeBytes()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 3; i++ {
+				got, err := img.EncodeParallelBytes(3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("goroutine %d iter %d: encode diverged", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -261,9 +261,32 @@ func (c *cr) blobOpt() []byte {
 }
 
 // Encode writes the image in the sectioned binary format, ending with a
-// CRC-64 trailer.
+// CRC-64 trailer. The body is split into head / per-VMA sections / tail
+// helpers shared with EncodeParallel, which encodes the same layout with
+// sections sharded across workers — both paths produce identical bytes.
 func (img *Image) Encode(w io.Writer) (int, error) {
 	c := &cw{w: w}
+	img.encodeHead(c)
+	for i := range img.VMAs {
+		encodeVMAHeader(c, &img.VMAs[i])
+		encodeExtents(c, img.VMAs[i].Extents)
+	}
+	img.encodeTail(c)
+
+	// CRC trailer (not itself CRC'd).
+	if c.err == nil {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], c.crc)
+		n, err := c.w.Write(b[:])
+		c.n += n
+		c.err = err
+	}
+	return c.n, c.err
+}
+
+// encodeHead writes everything before the VMA sections, up to and
+// including the section count.
+func (img *Image) encodeHead(c *cw) {
 	c.u32(imageMagic)
 	c.u16(imageVersion)
 	c.str(img.Mechanism)
@@ -294,19 +317,29 @@ func (img *Image) Encode(w io.Writer) (int, error) {
 	}
 
 	c.u32(uint32(len(img.VMAs)))
-	for _, v := range img.VMAs {
-		c.u64(uint64(v.Start))
-		c.u64(v.Length)
-		c.u8(uint8(v.Kind))
-		c.str(v.Name)
-		c.u8(uint8(v.Prot))
-		c.u32(uint32(len(v.Extents)))
-		for _, e := range v.Extents {
-			c.u64(uint64(e.Addr))
-			c.blob(e.Data)
-		}
-	}
+}
 
+// encodeVMAHeader writes one section's fixed fields and extent count.
+func encodeVMAHeader(c *cw, v *VMASection) {
+	c.u64(uint64(v.Start))
+	c.u64(v.Length)
+	c.u8(uint8(v.Kind))
+	c.str(v.Name)
+	c.u8(uint8(v.Prot))
+	c.u32(uint32(len(v.Extents)))
+}
+
+// encodeExtents writes a run of extents (a shard boundary for the
+// parallel encoder).
+func encodeExtents(c *cw, exts []Extent) {
+	for _, e := range exts {
+		c.u64(uint64(e.Addr))
+		c.blob(e.Data)
+	}
+}
+
+// encodeTail writes everything after the VMA sections.
+func (img *Image) encodeTail(c *cw) {
 	c.u32(uint32(len(img.FDs)))
 	for _, f := range img.FDs {
 		c.i64(int64(f.FD))
@@ -357,16 +390,6 @@ func (img *Image) Encode(w io.Writer) (int, error) {
 		c.str(k)
 		c.blob(img.Shm[k])
 	}
-
-	// CRC trailer (not itself CRC'd).
-	if c.err == nil {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], c.crc)
-		n, err := c.w.Write(b[:])
-		c.n += n
-		c.err = err
-	}
-	return c.n, c.err
 }
 
 // EncodeBytes returns the encoded image.

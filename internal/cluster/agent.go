@@ -44,6 +44,13 @@ type ckptAgent struct {
 	// rebase cadence.
 	trk   *checkpoint.CarryTracker
 	acked int
+
+	// Pipelined-shipping state (Supervisor.Pipeline non-nil): the
+	// bounded FIFO of encoded images on their way to the server, and the
+	// flag a ship failure raises so the next capture re-anchors the
+	// chain with a full image (see pipeline.go).
+	ship        []*shipUnit
+	forceRebase bool
 }
 
 // armAgent starts a checkpoint agent for the incarnation of the job
@@ -75,13 +82,34 @@ func (s *Supervisor) pumpAgents() {
 }
 
 // stop retires the agent and releases its tracker (restoring the
-// process's page protections).
+// process's page protections). In-flight ship units die with the agent —
+// they belong to an incarnation that no longer needs protecting.
 func (a *ckptAgent) stop() {
 	a.stopped = true
 	if a.trk != nil {
 		a.trk.Close()
 		a.trk = nil
 	}
+	if n := a.queuedImages(); n > 0 {
+		a.s.Counters.Inc("pipe.dropped", int64(n))
+		a.ship = nil
+	}
+}
+
+// selfFence ends a superseded incarnation: the server said another
+// incarnation owns the job now, so kill the local (stale) process and
+// retire the agent — the split brain ends here, with zero double
+// commits.
+func (a *ckptAgent) selfFence(n *Node, p *proc.Process) {
+	a.s.Counters.Inc("fence.suicides", 1)
+	a.s.emit(EvSelfFence, a.node, a.epoch, "")
+	if p != nil {
+		if p.State != proc.StateZombie {
+			n.K.Exit(p, 137)
+		}
+		n.K.Procs.Remove(p.PID)
+	}
+	a.stop()
 }
 
 // pump is one scheduling quantum of the agent's life.
@@ -95,6 +123,15 @@ func (a *ckptAgent) pump() {
 	if !c.NodeAlive(a.node) {
 		return
 	}
+	n := c.Node(a.node)
+	if a.s.Pipeline != nil {
+		// Transfers progress on every pump, not just capture rounds —
+		// that is the overlap the pipeline exists for.
+		a.advanceShip(n)
+		if a.stopped {
+			return // the publish hit the fence: this incarnation is over
+		}
+	}
 	now := c.Now()
 	if now < a.nextAt {
 		return
@@ -103,7 +140,6 @@ func (a *ckptAgent) pump() {
 	// shorten as the MTBF estimate drops, which an arm-time snapshot of
 	// s.Interval would never see.
 	a.nextAt = now.Add(a.s.agentInterval())
-	n := c.Node(a.node)
 	p, err := n.K.Procs.Lookup(a.pid)
 	if err != nil {
 		a.stop() // rebooted under us: the process is gone
@@ -118,6 +154,10 @@ func (a *ckptAgent) pump() {
 		a.s.Counters.Inc("agent.mech_failed", 1)
 		return
 	}
+	if a.s.Pipeline != nil {
+		a.pipelineRound(m, n, p)
+		return
+	}
 	tgt := storage.Target(n.Remote())
 	if !a.s.NoFencing {
 		tgt = storage.FencedAt(tgt, a.s.Fence, a.epoch)
@@ -125,16 +165,8 @@ func (a *ckptAgent) pump() {
 	tk, err := a.capture(m, n, p, tgt)
 	if err != nil {
 		if errors.Is(err, storage.ErrFenced) {
-			// The server told us another incarnation owns the job now:
-			// self-fence. Kill the local (superseded) process and stop —
-			// the split brain ends here, with zero double commits.
-			a.s.Counters.Inc("fence.suicides", 1)
-			a.s.emit(EvSelfFence, a.node, a.epoch, "")
-			if p.State != proc.StateZombie {
-				n.K.Exit(p, 137)
-			}
-			n.K.Procs.Remove(p.PID)
-			a.stop()
+			// The server told us another incarnation owns the job now.
+			a.selfFence(n, p)
 			return
 		}
 		a.s.Counters.Inc("agent.ckpt_failed", 1)
@@ -168,8 +200,10 @@ func (a *ckptAgent) capture(m mechanism.Mechanism, n *Node, p *proc.Process, tgt
 	}
 	// The incarnation's first successful checkpoint is always a rebase:
 	// chains never span incarnations (the previous incarnation's chain
-	// stays untouched until this full image supersedes it).
-	rebase := a.acked%a.s.rebaseEvery() == 0
+	// stays untouched until this full image supersedes it). A pipelined
+	// ship failure also forces one — the dropped tail left the published
+	// chain without its newest links, so the next image must stand alone.
+	rebase := a.acked%a.s.rebaseEvery() == 0 || a.forceRebase
 	var trk checkpoint.Tracker
 	switch {
 	case a.trk == nil:
@@ -206,14 +240,22 @@ func (a *ckptAgent) capture(m mechanism.Mechanism, n *Node, p *proc.Process, tgt
 // supervisor's recovery pointers and, when a rebase made the prior
 // history unreachable, garbage-collects it.
 func (s *Supervisor) noteAck(a *ckptAgent, tk *mechanism.Ticket, tgt storage.Target) {
-	obj := tk.Img.ObjectName()
+	s.noteAckObject(a, tk.Img.ObjectName(), tk.Img.Mode != checkpoint.ModeIncremental,
+		tk.Stats.EncodedBytes, tk.Total(), tgt)
+}
+
+// noteAckObject is noteAck by value — the pipelined ship path acks an
+// image long after its ticket completed, so it carries the object name,
+// kind, size, and capture duration itself.
+func (s *Supervisor) noteAckObject(a *ckptAgent, obj string, full bool,
+	encodedBytes int, ckptDur simtime.Duration, tgt storage.Target) {
 	s.Checkpoints++
 	s.lastNode = a.node
 	s.lastLocal = false
-	s.lastCkptDur = tk.Total()
-	s.Counters.Inc("ckpt.bytes_shipped", int64(tk.Stats.EncodedBytes))
+	s.lastCkptDur = ckptDur
+	s.Counters.Inc("ckpt.bytes_shipped", int64(encodedBytes))
 	var retire []string
-	if tk.Img.Mode == checkpoint.ModeIncremental {
+	if !full {
 		s.Counters.Inc("ckpt.delta_acks", 1)
 	} else {
 		s.Counters.Inc("ckpt.full_acks", 1)

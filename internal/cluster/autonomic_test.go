@@ -60,7 +60,7 @@ func TestAutonomicFalseSuspicionIsFencedAndRecovers(t *testing.T) {
 		}
 	})
 
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -68,7 +68,7 @@ func TestAutonomicFalseSuspicionIsFencedAndRecovers(t *testing.T) {
 		Interval:    3 * simtime.Millisecond,
 		Detector:    mon,
 		ControlNode: 3,
-	}
+	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestAutonomicNoFencingLeaksDoubleCommits(t *testing.T) {
 			np.Heal("island")
 		}
 	})
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -136,7 +136,7 @@ func TestAutonomicNoFencingLeaksDoubleCommits(t *testing.T) {
 		Detector:    mon,
 		ControlNode: 3,
 		NoFencing:   true,
-	}
+	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestAutonomicPhiUnderLossAndRealFailures(t *testing.T) {
 	inj := NewInjector(Exponential{Mean: 25 * simtime.Millisecond}, 2*simtime.Millisecond, 7, 3)
 	c.SetInjector(inj)
 
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -173,7 +173,7 @@ func TestAutonomicPhiUnderLossAndRealFailures(t *testing.T) {
 		Interval:    3 * simtime.Millisecond,
 		Detector:    mon,
 		ControlNode: 3,
-	}
+	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
 		t.Fatal(err)
 	}

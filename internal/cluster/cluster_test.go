@@ -191,13 +191,13 @@ func TestSupervisorSurvivesFailuresWithRemoteStorage(t *testing.T) {
 	want := workload.Fingerprint(pr)
 
 	c := newCluster(t, 3, prog)
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:          c,
 		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:       prog,
 		Iterations: 60,
 		Interval:   5 * simtime.Millisecond,
-	}
+	})
 	// Kill the job's node twice, mid-run.
 	killAt := []simtime.Duration{12 * simtime.Millisecond, 30 * simtime.Millisecond}
 	go func() {}() // no goroutines needed; we fail via injected steps below
@@ -457,14 +457,14 @@ func TestMechPoolCachesPerNode(t *testing.T) {
 func TestSupervisorLocalDiskLosesProgressOnPermanentFailure(t *testing.T) {
 	prog := workload.Sparse{MiB: 1, WriteFrac: 0.2, Seed: 41}
 	c := newCluster(t, 3, prog)
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:            c,
 		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:         prog,
 		Iterations:   400,
 		Interval:     4 * simtime.Millisecond,
 		UseLocalDisk: true,
-	}
+	})
 	// All failures permanent: local checkpoints die with the node.
 	inj := NewInjector(Exponential{Mean: 30 * simtime.Millisecond}, 2*simtime.Millisecond, 3, 3)
 	inj.PermanentFrac = 1.0

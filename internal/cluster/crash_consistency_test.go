@@ -164,14 +164,14 @@ func TestSupervisorRetriesAndFallsBackToLocalDisk(t *testing.T) {
 	c := newCluster(t, 2, prog)
 	c.Server.SetFaults(&storage.FaultPolicy{WriteFault: 1, Rng: rand.New(rand.NewSource(5))})
 
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:             c,
 		MkMech:        func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:          prog,
 		Iterations:    60,
 		Interval:      5 * simtime.Millisecond,
 		LocalFallback: true,
-	}
+	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -209,13 +209,13 @@ func TestSupervisorWithoutFallbackReportsFailedRounds(t *testing.T) {
 	c := newCluster(t, 2, prog)
 	c.Server.SetFaults(&storage.FaultPolicy{WriteFault: 1, Rng: rand.New(rand.NewSource(5))})
 
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:          c,
 		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:       prog,
 		Iterations: 60,
 		Interval:   5 * simtime.Millisecond,
-	}
+	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func acceptanceRun(t *testing.T, unsafeCommit bool) (*Supervisor, *Cluster) {
 		ServerRepair: 20 * simtime.Millisecond,
 	})
 	c.SetInjector(NewInjector(Exponential{Mean: 40 * simtime.Millisecond}, 3*simtime.Millisecond, 21, 3))
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:             c,
 		MkMech:        func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:          prog,
@@ -252,7 +252,7 @@ func acceptanceRun(t *testing.T, unsafeCommit bool) (*Supervisor, *Cluster) {
 		Interval:      5 * simtime.Millisecond,
 		LocalFallback: true,
 		UnsafeCommit:  unsafeCommit,
-	}
+	})
 	if err := sup.Run(10 * simtime.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ import (
 
 func putLocal(t *testing.T, n *Node, object, data string) {
 	t.Helper()
-	if err := storage.Put(n.Disk, object, []byte(data), nil); err != nil {
+	if err := storage.Write(n.Disk, object, []byte(data), storage.WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }

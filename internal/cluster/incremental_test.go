@@ -36,7 +36,7 @@ func TestAutonomicIncrementalFailoverAndGC(t *testing.T) {
 		}
 	})
 
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -46,7 +46,7 @@ func TestAutonomicIncrementalFailoverAndGC(t *testing.T) {
 		ControlNode: 3,
 		Incremental: true,
 		RebaseEvery: 3,
-	}
+	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestAgentCompactionAcrossRepeatedFailovers(t *testing.T) {
 	mon := detector.NewMonitor(c, detector.NewTimeout(2*simtime.Millisecond),
 		detector.Config{Period: 200 * simtime.Microsecond, Observer: 3}, c.Counters)
 
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -120,7 +120,7 @@ func TestAgentCompactionAcrossRepeatedFailovers(t *testing.T) {
 		ControlNode: 3,
 		Incremental: true,
 		RebaseEvery: 2,
-	}
+	})
 
 	// Kill whichever node the job is on every 6ms (three times), rebooting
 	// it 2ms later so its orphaned agent gets reaped and spares never run
@@ -189,17 +189,17 @@ func TestAdaptiveIntervalShrinksMidIncarnation(t *testing.T) {
 	workload.SetIterations(p, 1_000_000) // must outlive the test window
 
 	est := NewMTBFEstimator(20 * simtime.Millisecond)
-	sup := &Supervisor{
-		C:         c,
-		MkMech:    func() mechanism.Mechanism { return syslevel.NewCRAK() },
-		Prog:      prog,
-		Interval:  5 * simtime.Millisecond,
-		Adaptive:  true,
-		Estimator: est,
-		Counters:  c.Counters,
-		Fence:     storage.NewFenceDomain("job", c.Counters),
-		mechAt:    make(map[int]nodeMech),
-	}
+	sup := MustNewSupervisor(SupervisorConfig{
+		C:          c,
+		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
+		Prog:       prog,
+		Iterations: 1_000_000, // unused: agents are pumped directly, Run never starts
+		Interval:   5 * simtime.Millisecond,
+		Adaptive:   true,
+		Estimator:  est,
+		Counters:   c.Counters,
+		Fence:      storage.NewFenceDomain("job", c.Counters),
+	})
 	epoch := sup.Fence.Advance()
 	sup.armAgent(0, p.PID, epoch)
 	c.OnStep(sup.pumpAgents)
@@ -245,7 +245,7 @@ func TestTornChainFallsBackToLastFull(t *testing.T) {
 	mon := detector.NewMonitor(c, detector.NewTimeout(2*simtime.Millisecond),
 		detector.Config{Period: 200 * simtime.Microsecond, Observer: 3}, c.Counters)
 
-	sup := &Supervisor{
+	sup := MustNewSupervisor(SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -255,7 +255,7 @@ func TestTornChainFallsBackToLastFull(t *testing.T) {
 		ControlNode: 3,
 		Incremental: true,
 		RebaseEvery: 100, // one full, then deltas only: no rebase resets the chain
-	}
+	})
 
 	// Watch the acks: once the first incarnation has full + two deltas,
 	// delete the FIRST delta out from under the chain and kill the node.

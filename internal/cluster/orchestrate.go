@@ -288,6 +288,11 @@ type Supervisor struct {
 	// Counters receives ckpt.* orchestration counters (defaults to the
 	// cluster's shared counter set).
 	Counters *trace.Counters
+	// Metrics layers latency histograms (pipe.publish_latency) over
+	// Counters. NewSupervisor always provides one; with literal
+	// construction it may be nil, in which case distributions are simply
+	// not recorded.
+	Metrics *trace.Metrics
 
 	// Detector switches Run into autonomic mode: liveness verdicts come
 	// from heartbeat-driven suspicion instead of the simulator's
@@ -307,6 +312,11 @@ type Supervisor struct {
 	// originate in autonomic mode; it should match the detector's
 	// observer node. The job is never placed there.
 	ControlNode int
+	// Pipeline, when non-nil, makes the node-local agents capture into
+	// memory and ship asynchronously through a bounded in-flight queue,
+	// overlapping capture of epoch N+1 with the transfer of epoch N (see
+	// pipeline.go). Autonomic mode only.
+	Pipeline *PipelineConfig
 	// OracleReads counts decision-path reads of simulator ground truth
 	// (Alive / direct process-table inspection). Autonomic mode performs
 	// none: its tests assert this stays zero.

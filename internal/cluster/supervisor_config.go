@@ -1,0 +1,166 @@
+// Supervisor construction. The Supervisor grew field by field across the
+// crash-consistency, autonomic, and incremental-shipping work, and every
+// caller built it as a bare struct literal — so an invalid combination
+// (zero interval, nil cluster, out-of-range control node) only surfaced
+// mid-run, often as a hang. NewSupervisor moves that failure to
+// construction time and gives defaults one authoritative home.
+
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mechanism"
+	"repro/internal/simos/kernel"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// SupervisorConfig configures NewSupervisor. (The name is not
+// cluster.Config only because that is already the Cluster's own
+// construction config.) Zero values mean "use the default" wherever a
+// default exists; the required fields are C, MkMech, Prog, Iterations,
+// and Interval.
+type SupervisorConfig struct {
+	// Required.
+	C          *Cluster
+	MkMech     func() mechanism.Mechanism
+	Prog       kernel.Program
+	Iterations uint64
+	// Interval between checkpoints; the fixed cadence, or the floor the
+	// adaptive policy starts from when Adaptive is set.
+	Interval simtime.Duration
+
+	Adaptive     bool
+	UseLocalDisk bool
+	Estimator    *MTBFEstimator
+
+	// MaxRetries bounds per-round checkpoint retries (0 = default 3;
+	// negative disables retries). RetryBackoff is the first retry delay,
+	// doubled per attempt (0 = default 1ms).
+	MaxRetries    int
+	RetryBackoff  simtime.Duration
+	LocalFallback bool
+	UnsafeCommit  bool
+
+	// Incremental ships delta chains from the node-local agents;
+	// RebaseEvery bounds the chain (0 = default 8).
+	Incremental bool
+	RebaseEvery int
+
+	// Counters defaults to the cluster's shared counter set. Metrics
+	// (latency histograms) defaults to a bundle sharing those counters.
+	Counters *trace.Counters
+	Metrics  *trace.Metrics
+
+	// Autonomic mode (heartbeat suspicion, fenced failover).
+	Detector    FailureDetector
+	Fence       *storage.FenceDomain
+	NoFencing   bool
+	ControlNode int
+
+	// Pipeline, when non-nil, overlaps capture of epoch N+1 with shipping
+	// of epoch N in the node-local agents. Autonomic mode only.
+	Pipeline *PipelineConfig
+
+	// OnEvent receives each orchestration event as it is emitted.
+	OnEvent func(Event)
+}
+
+// NewSupervisor validates cfg, applies defaults, and returns a ready
+// Supervisor. Misconfigurations that previously surfaced mid-run — or
+// never, as a silent hang — are rejected here.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	switch {
+	case cfg.C == nil:
+		return nil, errors.New("cluster: NewSupervisor: nil Cluster")
+	case cfg.MkMech == nil:
+		return nil, errors.New("cluster: NewSupervisor: nil MkMech (mechanism factory)")
+	case cfg.Prog == nil:
+		return nil, errors.New("cluster: NewSupervisor: nil Prog (workload)")
+	case cfg.Iterations == 0:
+		return nil, errors.New("cluster: NewSupervisor: zero Iterations")
+	case cfg.Interval <= 0:
+		return nil, fmt.Errorf("cluster: NewSupervisor: non-positive Interval %v", cfg.Interval)
+	case cfg.ControlNode < 0 || cfg.ControlNode >= cfg.C.NumNodes():
+		return nil, fmt.Errorf("cluster: NewSupervisor: ControlNode %d outside [0,%d)",
+			cfg.ControlNode, cfg.C.NumNodes())
+	case cfg.Adaptive && cfg.Detector != nil:
+		// The autonomic loop derives its cadence from agentInterval too,
+		// so this combination is legal — but it needs an estimator with
+		// observations to be meaningful; nil gets the default below.
+	}
+	if cfg.RebaseEvery < 0 {
+		return nil, fmt.Errorf("cluster: NewSupervisor: negative RebaseEvery %d", cfg.RebaseEvery)
+	}
+	if cfg.Pipeline != nil {
+		if err := cfg.Pipeline.validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Detector == nil {
+			return nil, errors.New("cluster: NewSupervisor: Pipeline requires a Detector (autonomic mode)")
+		}
+	}
+
+	s := &Supervisor{
+		C:             cfg.C,
+		MkMech:        cfg.MkMech,
+		Prog:          cfg.Prog,
+		Iterations:    cfg.Iterations,
+		Interval:      cfg.Interval,
+		Adaptive:      cfg.Adaptive,
+		UseLocalDisk:  cfg.UseLocalDisk,
+		Estimator:     cfg.Estimator,
+		MaxRetries:    cfg.MaxRetries,
+		RetryBackoff:  cfg.RetryBackoff,
+		LocalFallback: cfg.LocalFallback,
+		UnsafeCommit:  cfg.UnsafeCommit,
+		Incremental:   cfg.Incremental,
+		RebaseEvery:   cfg.RebaseEvery,
+		Counters:      cfg.Counters,
+		Metrics:       cfg.Metrics,
+		Detector:      cfg.Detector,
+		Fence:         cfg.Fence,
+		NoFencing:     cfg.NoFencing,
+		ControlNode:   cfg.ControlNode,
+		Pipeline:      cfg.Pipeline,
+		OnEvent:       cfg.OnEvent,
+	}
+	// Defaults, applied eagerly so a constructed Supervisor is fully
+	// specified before Run.
+	if s.Estimator == nil {
+		s.Estimator = NewMTBFEstimator(simtime.Hour)
+	}
+	if s.Counters == nil {
+		s.Counters = s.C.Counters
+	}
+	if s.Metrics == nil {
+		s.Metrics = trace.NewMetricsWith(s.Counters)
+	}
+	if s.MaxRetries == 0 {
+		s.MaxRetries = 3
+	}
+	if s.RetryBackoff == 0 {
+		s.RetryBackoff = simtime.Millisecond
+	}
+	if s.RebaseEvery == 0 {
+		s.RebaseEvery = 8
+	}
+	// Run reinitializes this, but a constructed Supervisor should also be
+	// usable for driving agents directly (white-box tests, probes).
+	s.mechAt = make(map[int]nodeMech)
+	return s, nil
+}
+
+// MustNewSupervisor is NewSupervisor for call sites whose config is
+// statically known valid (examples, experiment tables); it panics on a
+// config error instead of returning it.
+func MustNewSupervisor(cfg SupervisorConfig) *Supervisor {
+	s, err := NewSupervisor(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

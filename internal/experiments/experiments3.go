@@ -55,7 +55,7 @@ func e11Run(writeFault float64, unsafeCommit bool) []any {
 	inj := cluster.NewInjector(cluster.Exponential{Mean: 40 * simtime.Millisecond},
 		3*simtime.Millisecond, 21, 3)
 	c.SetInjector(inj)
-	sup := &cluster.Supervisor{
+	sup := cluster.MustNewSupervisor(cluster.SupervisorConfig{
 		C:             c,
 		MkMech:        func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:          prog,
@@ -63,7 +63,7 @@ func e11Run(writeFault float64, unsafeCommit bool) []any {
 		Interval:      5 * simtime.Millisecond,
 		LocalFallback: true,
 		UnsafeCommit:  unsafeCommit,
-	}
+	})
 	err := sup.Run(10 * simtime.Second)
 	mode := "atomic"
 	if unsafeCommit {

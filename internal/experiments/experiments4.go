@@ -92,7 +92,7 @@ func e12RunFull(kind string, loss float64, partition bool) (row []any, counters,
 		d = detector.NewPhiAccrual(12, 64, period/2)
 	}
 
-	sup := &cluster.Supervisor{
+	cfg := cluster.SupervisorConfig{
 		C:          c,
 		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:       prog,
@@ -102,9 +102,10 @@ func e12RunFull(kind string, loss float64, partition bool) (row []any, counters,
 	var mon *detector.Monitor
 	if d != nil {
 		mon = detector.NewMonitor(c, d, detector.Config{Period: period, Observer: 3}, c.Counters)
-		sup.Detector = mon
-		sup.ControlNode = 3
+		cfg.Detector = mon
+		cfg.ControlNode = 3
 	}
+	sup := cluster.MustNewSupervisor(cfg)
 	// Real (transient) failures on the three worker nodes; the observer
 	// stays up — a failing control plane is a different experiment.
 	inj := cluster.NewInjector(cluster.Exponential{Mean: 40 * simtime.Millisecond},

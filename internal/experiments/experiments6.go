@@ -108,7 +108,7 @@ func e14Run(dirtyFrac float64, incremental bool, rebaseEvery, iters int) e14Resu
 	if interval < simtime.Millisecond {
 		interval = simtime.Millisecond
 	}
-	sup := &cluster.Supervisor{
+	sup := cluster.MustNewSupervisor(cluster.SupervisorConfig{
 		C:           c,
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
@@ -118,7 +118,7 @@ func e14Run(dirtyFrac float64, incremental bool, rebaseEvery, iters int) e14Resu
 		ControlNode: 3,
 		Incremental: incremental,
 		RebaseEvery: rebaseEvery,
-	}
+	})
 	err := sup.Run(5 * simtime.Second)
 
 	r := e14Result{

@@ -387,3 +387,35 @@ func TestE13ChaosSweepContrast(t *testing.T) {
 		t.Fatalf("no first-bad-seed recorded for the broken build:\n%s", tb)
 	}
 }
+
+// TestE15ParallelCaptureScales: the acceptance shape of E15 — 4 shard
+// workers at least double the 1-worker capture throughput, and the
+// pipelined cluster run completes with a real publish-latency
+// distribution and a replayable recovery chain behind it.
+func TestE15ParallelCaptureScales(t *testing.T) {
+	s := E15Bench(true)
+	if len(s.Capture) != 4 {
+		t.Fatalf("capture points = %d, want 4", len(s.Capture))
+	}
+	byWorkers := map[int]E15CapturePoint{}
+	for _, pt := range s.Capture {
+		byWorkers[pt.Workers] = pt
+	}
+	w1, w4 := byWorkers[1], byWorkers[4]
+	if w1.ThroughputMBs <= 0 {
+		t.Fatalf("1-worker throughput %.1f MB/s", w1.ThroughputMBs)
+	}
+	if w4.ThroughputMBs < 2*w1.ThroughputMBs {
+		t.Fatalf("4-worker throughput %.1f MB/s < 2x 1-worker %.1f MB/s",
+			w4.ThroughputMBs, w1.ThroughputMBs)
+	}
+	if !s.Completed {
+		t.Fatal("pipelined cluster run did not complete")
+	}
+	if s.Publish.N == 0 || s.Publish.P50Ms <= 0 || s.Publish.P99Ms < s.Publish.P50Ms {
+		t.Fatalf("degenerate publish-latency summary: %+v", s.Publish)
+	}
+	if s.Restore.ChainLen < 1 || s.Restore.ReadMs <= 0 {
+		t.Fatalf("degenerate restore summary: %+v", s.Restore)
+	}
+}

@@ -91,6 +91,17 @@ type DeltaRequester interface {
 		trk checkpoint.Tracker, epoch uint64, rebase bool) (*Ticket, error)
 }
 
+// CaptureParallelizer is implemented by mechanisms whose capture path
+// can shard the payload read and image encode across a worker pool (the
+// kernel-thread family). Orchestration layers set the width once after
+// Install; mechanisms without the method simply capture sequentially.
+type CaptureParallelizer interface {
+	// SetCaptureParallelism sets the worker-pool width for subsequent
+	// captures (0 or 1 = sequential). Results are byte-identical at any
+	// width; only the simulated capture time changes.
+	SetCaptureParallelism(workers int)
+}
+
 // ErrUnsupported is returned when a mechanism cannot handle the process
 // (e.g. a single-threaded-only checkpointer asked to capture threads).
 var ErrUnsupported = errors.New("mechanism: unsupported process")

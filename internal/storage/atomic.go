@@ -10,7 +10,6 @@
 package storage
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -62,29 +61,12 @@ func IsUnsafe(t Target) bool {
 // stream straight to the final name and the commit takes no durability
 // barrier. A mid-write crash leaves a torn object under the final name,
 // and the target's fault policy may silently truncate the object even
-// after a successful return. Prefer PutAtomic.
+// after a successful return.
+//
+// Deprecated: use Write with a zero WriteOptions (in-place is the
+// default only for contrast experiments; real callers want Atomic).
 func Put(t Target, object string, data []byte, env *Env) error {
-	if u, ok := t.(unsafeTarget); ok {
-		t = u.Target
-	}
-	w, err := t.Create(object, env)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(data); err != nil {
-		w.Abort() // no-op after an injected crash: the torn object stays
-		return err
-	}
-	if err := w.Commit(); err != nil {
-		return err
-	}
-	// No durability barrier: the commit may have silently lost its tail.
-	if tt, ok := t.(tearable); ok {
-		if frac, tear := tt.faultsOf().tearCommit(); tear {
-			tt.tearObject(object, frac)
-		}
-	}
-	return nil
+	return Write(t, object, data, WriteOptions{Env: env})
 }
 
 // PutAtomic writes data under a staging name and publishes it to object
@@ -92,24 +74,8 @@ func Put(t Target, object string, data []byte, env *Env) error {
 // failure — write crash, commit error, failed publish — leaves the
 // previously committed object untouched, so the operation is all-or-
 // nothing from a reader's point of view and safe to retry.
+//
+// Deprecated: use Write with WriteOptions{Atomic: true}.
 func PutAtomic(t Target, object string, data []byte, env *Env) error {
-	if u, ok := t.(unsafeTarget); ok {
-		t = u.Target
-	}
-	staging := StagingName(object)
-	w, err := t.Create(staging, env)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(data); err != nil {
-		w.Abort() // a crash tears only the staging object
-		return fmt.Errorf("stage %s: %w", object, err)
-	}
-	// Commit behind the durability barrier (the writer's sync), which is
-	// what makes the subsequent rename safe: silent tail loss cannot
-	// happen to a synced object.
-	if err := w.Commit(); err != nil {
-		return err
-	}
-	return t.Publish(staging, object, env)
+	return Write(t, object, data, WriteOptions{Atomic: true, Env: env})
 }

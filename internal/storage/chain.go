@@ -13,7 +13,6 @@ package storage
 
 import (
 	"errors"
-	"fmt"
 )
 
 // ErrBrokenChain reports an attempt to publish a delta whose parent
@@ -26,14 +25,11 @@ var ErrBrokenChain = errors.New("storage: delta parent not durable")
 // had its full ancestry intact at publish time; combined with
 // retire-after-rebase GC (RetireChain is only called on objects no
 // acknowledged leaf can reach) that invariant holds for the chain's
-// whole lifetime. An empty parent degenerates to PutAtomic.
+// whole lifetime. An empty parent degenerates to an atomic write.
+//
+// Deprecated: use Write with WriteOptions{Atomic: true, Parent: parent}.
 func PutChained(t Target, object, parent string, data []byte, env *Env) error {
-	if parent != "" {
-		if _, err := t.ObjectSize(parent); err != nil {
-			return fmt.Errorf("%w: %s needs %s: %v", ErrBrokenChain, object, parent, err)
-		}
-	}
-	return PutAtomic(t, object, data, env)
+	return Write(t, object, data, WriteOptions{Atomic: true, Parent: parent, Env: env})
 }
 
 // RetireChain garbage-collects a superseded chain, deleting objects in

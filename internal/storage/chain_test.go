@@ -13,7 +13,7 @@ import (
 func TestPutChainedRequiresDurableParent(t *testing.T) {
 	base := NewLocal("d", costmodel.Default2005(), nil)
 
-	err := PutChained(base, "ckpt/pid1/seq2", "ckpt/pid1/seq1", []byte("delta"), nil)
+	err := Write(base, "ckpt/pid1/seq2", []byte("delta"), WriteOptions{Atomic: true, Parent: "ckpt/pid1/seq1"})
 	if !errors.Is(err, ErrBrokenChain) {
 		t.Fatalf("publish onto missing parent err = %v, want ErrBrokenChain", err)
 	}
@@ -21,10 +21,10 @@ func TestPutChainedRequiresDurableParent(t *testing.T) {
 		t.Fatal("orphan delta was committed despite the broken chain")
 	}
 
-	if err := PutAtomic(base, "ckpt/pid1/seq1", []byte("full"), nil); err != nil {
+	if err := Write(base, "ckpt/pid1/seq1", []byte("full"), WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := PutChained(base, "ckpt/pid1/seq2", "ckpt/pid1/seq1", []byte("delta"), nil); err != nil {
+	if err := Write(base, "ckpt/pid1/seq2", []byte("delta"), WriteOptions{Atomic: true, Parent: "ckpt/pid1/seq1"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := base.ReadObject("ckpt/pid1/seq2", nil)
@@ -33,7 +33,7 @@ func TestPutChainedRequiresDurableParent(t *testing.T) {
 	}
 
 	// An empty parent is a full image: plain atomic publish.
-	if err := PutChained(base, "ckpt/pid1/seq3", "", []byte("full2"), nil); err != nil {
+	if err := Write(base, "ckpt/pid1/seq3", []byte("full2"), WriteOptions{Atomic: true, Parent: ""}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,7 +48,7 @@ func TestFenceRejectsStaleDelete(t *testing.T) {
 
 	e1 := dom.Advance()
 	w1 := FencedAt(base, dom, e1)
-	if err := PutAtomic(w1, "ckpt/pid1/seq1", []byte("live"), nil); err != nil {
+	if err := Write(w1, "ckpt/pid1/seq1", []byte("live"), WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -74,7 +74,7 @@ func TestFenceRejectsStaleDelete(t *testing.T) {
 func TestRetireChainPartialSweep(t *testing.T) {
 	base := NewLocal("d", costmodel.Default2005(), nil)
 	for _, o := range []string{"a", "c"} {
-		if err := PutAtomic(base, o, []byte(o), nil); err != nil {
+		if err := Write(base, o, []byte(o), WriteOptions{Atomic: true}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -92,7 +92,7 @@ func TestRetireChainPartialSweep(t *testing.T) {
 	dom := NewFenceDomain("job", ctr)
 	stale := FencedAt(base, dom, dom.Advance())
 	for _, o := range []string{"x", "y"} {
-		if err := PutAtomic(base, o, []byte(o), nil); err != nil {
+		if err := Write(base, o, []byte(o), WriteOptions{Atomic: true}); err != nil {
 			t.Fatal(err)
 		}
 	}

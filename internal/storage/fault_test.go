@@ -29,7 +29,7 @@ func TestPutCrashLeavesTornObjectUnderFinalName(t *testing.T) {
 	l.SetFaults(policy(t, 1, func(fp *FaultPolicy) { fp.WriteFault = 1 }))
 
 	data := payload(4096)
-	err := Put(l, "img", data, NopEnv())
+	err := Write(l, "img", data, WriteOptions{Env: NopEnv()})
 	if !errors.Is(err, ErrFault) {
 		t.Fatalf("err = %v, want ErrFault", err)
 	}
@@ -53,12 +53,12 @@ func TestPutCrashLeavesTornObjectUnderFinalName(t *testing.T) {
 func TestPutAtomicCrashPreservesCommittedImage(t *testing.T) {
 	l := NewLocal("d", costmodel.Default2005(), nil)
 	v1 := payload(1024)
-	if err := PutAtomic(l, "img", v1, NopEnv()); err != nil {
+	if err := Write(l, "img", v1, WriteOptions{Atomic: true, Env: NopEnv()}); err != nil {
 		t.Fatal(err)
 	}
 
 	l.SetFaults(policy(t, 2, func(fp *FaultPolicy) { fp.WriteFault = 1 }))
-	err := PutAtomic(l, "img", payload(4096), NopEnv())
+	err := Write(l, "img", payload(4096), WriteOptions{Atomic: true, Env: NopEnv()})
 	if !errors.Is(err, ErrFault) {
 		t.Fatalf("err = %v, want ErrFault", err)
 	}
@@ -84,7 +84,7 @@ func TestSilentTearHitsOnlyNonDurableCommits(t *testing.T) {
 
 	// Legacy in-place Put: the commit "succeeds" but silently loses its
 	// tail — the failure mode a missing durability barrier permits.
-	if err := Put(l, "unsafe", data, NopEnv()); err != nil {
+	if err := Write(l, "unsafe", data, WriteOptions{Env: NopEnv()}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := l.ReadObject("unsafe", NopEnv())
@@ -96,7 +96,7 @@ func TestSilentTearHitsOnlyNonDurableCommits(t *testing.T) {
 	}
 
 	// PutAtomic commits behind the durability barrier: immune.
-	if err := PutAtomic(l, "safe", data, NopEnv()); err != nil {
+	if err := Write(l, "safe", data, WriteOptions{Atomic: true, Env: NopEnv()}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = l.ReadObject("safe", NopEnv())
@@ -119,7 +119,7 @@ func TestRemoteWriteCrashCanEscalateToOutage(t *testing.T) {
 	srv.SetFaults(fp)
 	r := NewRemote("n0→srv", srv)
 
-	err := Put(r, "img", payload(4096), NopEnv())
+	err := Write(r, "img", payload(4096), WriteOptions{Env: NopEnv()})
 	if !errors.Is(err, ErrFault) || !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("err = %v, want ErrFault and ErrUnavailable", err)
 	}
@@ -135,7 +135,7 @@ func TestRemoteWriteCrashCanEscalateToOutage(t *testing.T) {
 	}
 	srv.Recover()
 	srv.SetFaults(nil)
-	if err := PutAtomic(r, "img2", payload(64), NopEnv()); err != nil {
+	if err := Write(r, "img2", payload(64), WriteOptions{Atomic: true, Env: NopEnv()}); err != nil {
 		t.Fatalf("write after recovery: %v", err)
 	}
 }
@@ -146,7 +146,7 @@ func TestPublishFaultIsCleanAndRetryable(t *testing.T) {
 	l.SetFaults(fp)
 	data := payload(512)
 
-	err := PutAtomic(l, "img", data, NopEnv())
+	err := Write(l, "img", data, WriteOptions{Atomic: true, Env: NopEnv()})
 	if !errors.Is(err, ErrFault) {
 		t.Fatalf("err = %v, want ErrFault", err)
 	}
@@ -182,7 +182,7 @@ func TestUnsafeWrapper(t *testing.T) {
 		t.Fatal("Unsafe not idempotent")
 	}
 	// The wrapper changes the commit protocol, not the data path.
-	if err := PutAtomic(u, "img", payload(64), NopEnv()); err != nil {
+	if err := Write(u, "img", payload(64), WriteOptions{Atomic: true, Env: NopEnv()}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := l.ReadObject("img", NopEnv()); err != nil {
@@ -200,7 +200,7 @@ func TestFaultSequenceIsDeterministic(t *testing.T) {
 		l.SetFaults(fp)
 		var sizes []int
 		for i := 0; i < 30; i++ {
-			_ = Put(l, "img", payload(1000+i), NopEnv())
+			_ = Write(l, "img", payload(1000+i), WriteOptions{Env: NopEnv()})
 			if n, err := l.ObjectSize("img"); err == nil {
 				sizes = append(sizes, n)
 			}

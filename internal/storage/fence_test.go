@@ -18,19 +18,19 @@ func TestFenceRejectsStaleWriter(t *testing.T) {
 
 	e1 := dom.Advance() // first incarnation admitted
 	w1 := FencedAt(base, dom, e1)
-	if err := PutAtomic(w1, "img", []byte("incarnation-1"), nil); err != nil {
+	if err := Write(w1, "img", []byte("incarnation-1"), WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
 
 	e2 := dom.Advance() // failover: second incarnation admitted
 	w2 := FencedAt(base, dom, e2)
-	if err := PutAtomic(w2, "img", []byte("incarnation-2"), nil); err != nil {
+	if err := Write(w2, "img", []byte("incarnation-2"), WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
 
 	// The first incarnation is still running (false suspicion) and tries
 	// to commit again: fenced.
-	err := PutAtomic(w1, "img", []byte("stale"), nil)
+	err := Write(w1, "img", []byte("stale"), WriteOptions{Atomic: true})
 	if !errors.Is(err, ErrFenced) {
 		t.Fatalf("stale publish err = %v, want ErrFenced", err)
 	}
@@ -59,7 +59,7 @@ func TestFenceCurrentEpochPassesThrough(t *testing.T) {
 	base := NewLocal("d", costmodel.Default2005(), nil)
 	dom := NewFenceDomain("job", nil)
 	w := FencedAt(base, dom, dom.Advance())
-	if err := PutAtomic(w, "a", []byte("x"), nil); err != nil {
+	if err := Write(w, "a", []byte("x"), WriteOptions{Atomic: true}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := w.ReadObject("a", nil)

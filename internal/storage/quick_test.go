@@ -57,7 +57,7 @@ func TestQuickFenceStaleWriterNeverCommits(t *testing.T) {
 			}
 			w := rng.Intn(len(writers)) // any incarnation may still be running
 			payload := []byte(fmt.Sprintf("writer-%d-step-%d", w, step))
-			err := PutAtomic(writers[w], "img", payload, nil)
+			err := Write(writers[w], "img", payload, WriteOptions{Atomic: true})
 			current := w == len(writers)-1
 			switch {
 			case current:

@@ -44,6 +44,9 @@ type captureOpts struct {
 	// noInterrupts runs the capture with device interrupts deferred
 	// (the delay mechanism §4.1 calls for).
 	noInterrupts bool
+	// parallelism shards the payload read and image encode across a
+	// worker pool (0 or 1 = sequential; see checkpoint.Request).
+	parallelism int
 }
 
 // captureKernel performs one kernel-level capture of target with the
@@ -112,16 +115,17 @@ func captureKernel(k *kernel.Kernel, self, target *proc.Process, tgt storage.Tar
 		seq, parent = opts.seqs.Next(target.PID)
 	}
 	req := checkpoint.Request{
-		Acc:       &checkpoint.KernelAccessor{K: k, P: captured},
-		Trk:       opts.trk,
-		Target:    tgt,
-		Env:       env,
-		Mechanism: opts.mech,
-		Hostname:  k.Cfg.Hostname,
-		Seq:       seq,
-		Parent:    parent,
-		Epoch:     opts.epoch,
-		Now:       k.Now(),
+		Acc:         &checkpoint.KernelAccessor{K: k, P: captured},
+		Trk:         opts.trk,
+		Target:      tgt,
+		Env:         env,
+		Mechanism:   opts.mech,
+		Hostname:    k.Cfg.Hostname,
+		Seq:         seq,
+		Parent:      parent,
+		Epoch:       opts.epoch,
+		Now:         k.Now(),
+		Parallelism: opts.parallelism,
 	}
 	if opts.forkConsistency {
 		// The frozen fork is captured, but the image belongs to the parent.

@@ -35,6 +35,10 @@ type threadMech struct {
 	policy proc.Policy
 	rtprio int
 
+	// capturePar is the sharded-capture worker-pool width (0 or 1 =
+	// sequential), set through mechanism.CaptureParallelizer.
+	capturePar int
+
 	// optsFor customizes the capture per concrete mechanism.
 	optsFor func() captureOpts
 }
@@ -106,12 +110,18 @@ func (m *threadMech) request(mech mechanism.Mechanism, k *kernel.Kernel, p *proc
 	t := &mechanism.Ticket{RequestedAt: k.Now()}
 	opts := m.optsFor()
 	opts.seqs = m.seqs
+	opts.parallelism = m.capturePar
 	req := &ckptRequest{target: p, tgt: tgt, env: env, opts: opts, ticket: t}
 	if err := of.Ioctl(nil, IoctlCheckpoint, req); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
+
+// SetCaptureParallelism implements mechanism.CaptureParallelizer for the
+// whole kernel-thread family: the checkpoint thread forks that many
+// workers for the payload read and image encode of every later capture.
+func (m *threadMech) SetCaptureParallelism(workers int) { m.capturePar = workers }
 
 // requestDelta is request with the chain knobs an orchestration layer
 // needs for incremental shipping: the caller's tracker supplies the
@@ -143,6 +153,7 @@ func (m *threadMech) requestDelta(mech mechanism.Mechanism, k *kernel.Kernel, p 
 	t := &mechanism.Ticket{RequestedAt: k.Now()}
 	opts := m.optsFor()
 	opts.seqs = m.seqs
+	opts.parallelism = m.capturePar
 	opts.trk = trk
 	opts.epoch = epoch
 	req := &ckptRequest{target: p, tgt: tgt, env: env, opts: opts, ticket: t}

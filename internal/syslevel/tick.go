@@ -152,6 +152,7 @@ func (m *TICK) Request(k *kernel.Kernel, p *proc.Process, tgt storage.Target, en
 	t := &mechanism.Ticket{RequestedAt: k.Now()}
 	opts := m.optsFor()
 	opts.seqs = m.seqs
+	opts.parallelism = m.capturePar
 	if !rebase {
 		// A rebase round deliberately captures without the tracker: the
 		// fresh full image must cover every resident page, and a Collect

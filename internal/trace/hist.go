@@ -1,0 +1,186 @@
+// Histograms for latency-shaped observations. Counters answer "how
+// often"; the bench and the pipelined shipping path also need "how slow
+// at the tail", which a mean cannot show — a publish path that is fast
+// at p50 and terrible at p99 is exactly the behaviour a bounded
+// in-flight queue exists to expose. Histogram stores raw observations
+// (runs here are small enough that a reservoir would only add noise) and
+// computes quantiles on demand; Snapshot gives experiments and crbench a
+// stable struct to read instead of poking rendered counter strings.
+
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram accumulates float64 observations and reports quantiles.
+// It is safe for concurrent use.
+type Histogram struct {
+	mu   sync.Mutex
+	vals []float64
+	sum  float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.vals = append(h.vals, v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank on the
+// sorted observations, or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileLocked(h.vals, q)
+}
+
+func quantileLocked(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Snapshot returns a consistent point-in-time summary.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistSnapshot{N: len(h.vals)}
+	if snap.N == 0 {
+		return snap
+	}
+	snap.Mean = h.sum / float64(snap.N)
+	snap.P50 = quantileLocked(h.vals, 0.50)
+	snap.P99 = quantileLocked(h.vals, 0.99)
+	snap.Min = quantileLocked(h.vals, 0)
+	snap.Max = quantileLocked(h.vals, 1)
+	return snap
+}
+
+// HistSnapshot is a point-in-time histogram summary.
+type HistSnapshot struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func (s HistSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		s.N, formatFloat(s.Mean), formatFloat(s.P50), formatFloat(s.P99), formatFloat(s.Max))
+}
+
+// Metrics bundles one Counters set with named histograms, so a subsystem
+// can hand a single handle to both its event counts and its latency
+// distributions. The zero value is not usable; use NewMetrics.
+type Metrics struct {
+	Counters *Counters
+
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewMetrics returns an empty metrics bundle.
+func NewMetrics() *Metrics {
+	return &Metrics{Counters: NewCounters(), hists: make(map[string]*Histogram)}
+}
+
+// NewMetricsWith returns a bundle whose counters are the given (shared)
+// set — for subsystems that already publish counts somewhere and only
+// need histograms layered on top. A nil c gets a fresh set.
+func NewMetricsWith(c *Counters) *Metrics {
+	if c == nil {
+		c = NewCounters()
+	}
+	return &Metrics{Counters: c, hists: make(map[string]*Histogram)}
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (m *Metrics) Hist(name string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = NewHistogram()
+		m.hists[name] = h
+	}
+	return h
+}
+
+// MetricsSnapshot is a point-in-time view of a Metrics bundle: every
+// counter value and every histogram summary, keyed by name.
+type MetricsSnapshot struct {
+	Counters map[string]int64        `json:"counters"`
+	Hists    map[string]HistSnapshot `json:"hists"`
+}
+
+// Snapshot captures every counter and histogram at once.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{Counters: m.Counters.Snapshot(), Hists: make(map[string]HistSnapshot)}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.hists))
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	hs := make([]*Histogram, 0, len(names))
+	for _, n := range names {
+		hs = append(hs, m.hists[n])
+	}
+	m.mu.Unlock()
+	for i, n := range names {
+		snap.Hists[n] = hs[i].Snapshot()
+	}
+	return snap
+}
+
+// String renders the snapshot with sorted keys (stable for logs).
+func (s MetricsSnapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s: %s\n", n, s.Hists[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.N != 100 {
+		t.Fatalf("N = %d, want 100", s.N)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", s.Mean)
+	}
+	if s.P50 != 51 { // nearest-rank: index 50 of sorted 1..100
+		t.Errorf("P50 = %v, want 51", s.P50)
+	}
+	if s.P99 != 100 {
+		t.Errorf("P99 = %v, want 100", s.P99)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("Min/Max = %v/%v, want 1/100", s.Min, s.Max)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.N != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile on empty = %v, want 0", q)
+	}
+}
+
+// TestHistogramConcurrent exercises Observe/Snapshot/Quantile from many
+// goroutines; run under -race this is the concurrency-safety check the
+// pipelined shipping path relies on.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per + i))
+				if i%50 == 0 {
+					_ = h.Snapshot()
+					_ = h.Quantile(0.99)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := h.N(); n != workers*per {
+		t.Fatalf("N = %d, want %d", n, workers*per)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.Counters.Inc("acks", 3)
+	m.Hist("publish_ms").Observe(2)
+	m.Hist("publish_ms").Observe(4)
+
+	snap := m.Snapshot()
+	if snap.Counters["acks"] != 3 {
+		t.Errorf("counter acks = %d, want 3", snap.Counters["acks"])
+	}
+	hs, ok := snap.Hists["publish_ms"]
+	if !ok {
+		t.Fatalf("missing publish_ms histogram in snapshot")
+	}
+	if hs.N != 2 || hs.Mean != 3 || hs.Max != 4 {
+		t.Errorf("publish_ms snapshot = %+v, want N=2 Mean=3 Max=4", hs)
+	}
+	// Same name returns the same histogram.
+	if m.Hist("publish_ms") != m.Hist("publish_ms") {
+		t.Errorf("Hist not idempotent for the same name")
+	}
+	if s := snap.String(); s == "" {
+		t.Errorf("snapshot String empty")
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	c := NewCounters()
+	c.Inc("x", 1)
+	snap := c.Snapshot()
+	snap["x"] = 99
+	if got := c.Get("x"); got != 1 {
+		t.Fatalf("snapshot mutated live counters: x = %d, want 1", got)
+	}
+}

@@ -211,6 +211,17 @@ func (c *Counters) Names() []string {
 	return out
 }
 
+// Snapshot returns a point-in-time copy of every counter.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
 // String renders "name=value" lines.
 func (c *Counters) String() string {
 	var b strings.Builder

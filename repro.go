@@ -241,6 +241,10 @@ type (
 	ClusterConfig = cluster.Config
 	// Supervisor runs one job under failures with checkpoint/restart.
 	Supervisor = cluster.Supervisor
+	// SupervisorConfig configures NewSupervisor.
+	SupervisorConfig = cluster.SupervisorConfig
+	// PipelineConfig turns on the agents' pipelined shipping path.
+	PipelineConfig = cluster.PipelineConfig
 	// JobConfig drives the analytic job model.
 	JobConfig = cluster.JobConfig
 	// JobResult is an analytic run summary.
@@ -256,6 +260,14 @@ func NewCluster(n int, seed int64, reg *Registry) *Cluster {
 	return cluster.New(cluster.Config{Nodes: n, Seed: seed, KernelCfg: kernel.DefaultConfig("")},
 		costmodel.Default2005(), reg)
 }
+
+// NewSupervisor validates cfg, applies defaults (estimator, retry
+// policy, rebase cadence, metrics), and returns a ready Supervisor.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) { return cluster.NewSupervisor(cfg) }
+
+// MustNewSupervisor is NewSupervisor that panics on a config error — for
+// call sites whose config is statically known valid.
+func MustNewSupervisor(cfg SupervisorConfig) *Supervisor { return cluster.MustNewSupervisor(cfg) }
 
 // YoungInterval is Young's optimal checkpoint interval √(2δM).
 func YoungInterval(ckptCost, mtbf Duration) Duration { return cluster.YoungInterval(ckptCost, mtbf) }
