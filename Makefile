@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-ckpt bench-parallel check vet race fuzz chaos chaos-incremental
+.PHONY: all build test bench bench-ckpt bench-parallel bench-restore check vet race fuzz chaos chaos-incremental
 
 all: build test
 
@@ -30,6 +30,13 @@ bench-ckpt:
 # the pipelined agent path, end-of-run restore latency.
 bench-parallel:
 	$(GO) run ./cmd/crbench -bench5 BENCH_5.json
+
+# Restore fast-path bench (experiment E16): recovery latency vs chain
+# depth and replay width against the single-full-image baseline, the
+# same chain after a server-side fold, and failover-measured restore
+# p50/p99 from an autonomic run with CompactAfter set.
+bench-restore:
+	$(GO) run ./cmd/crbench -bench6 BENCH_6.json
 
 vet:
 	$(GO) vet ./...

@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E15 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E16 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -14,6 +14,10 @@
 //	                   # write the E15 parallel-capture / pipelined-shipping
 //	                   # bench (capture throughput, publish and restore
 //	                   # latency) as JSON
+//	crbench -bench6 BENCH_6.json
+//	                   # write the E16 restore bench (chain depth × replay
+//	                   # width sweep, compacted chain, failover-measured
+//	                   # restore latency) as JSON
 package main
 
 import (
@@ -33,7 +37,34 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller parameters")
 	benchCkpt := flag.String("benchckpt", "", "write the E14 incremental-shipping bench to this JSON file and exit")
 	bench5 := flag.String("bench5", "", "write the E15 parallel-capture bench to this JSON file and exit")
+	bench6 := flag.String("bench6", "", "write the E16 restore bench to this JSON file and exit")
 	flag.Parse()
+
+	if *bench6 != "" {
+		s := experiments.E16Bench(*quick)
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*bench6, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("full read baseline: %.2f ms\n", s.FullReadMs)
+		for _, pt := range s.Points {
+			fmt.Printf("restore %2d delta(s) × %d worker(s): %.2f ms (%.2fx vs full)\n",
+				pt.Deltas, pt.Workers, pt.LatencyMs, pt.VsFull)
+		}
+		fmt.Printf("after fold (%d deltas → chain of %d): %.2f ms (%.2fx vs full)\n",
+			s.Compacted.DeltasBefore, s.Compacted.ChainLen, s.Compacted.LatencyMs, s.Compacted.VsFull)
+		fmt.Printf("cluster (CompactAfter=%d): restore p50 %.2f ms, p99 %.2f ms over %d failover(s); %d fold(s), %d delta(s) retired\n",
+			s.Cluster.CompactAfter, s.Cluster.P50Ms, s.Cluster.P99Ms, s.Cluster.Restores,
+			s.Cluster.Folds, s.Cluster.FoldedDeltas)
+		fmt.Println("wrote", *bench6)
+		return
+	}
 
 	if *bench5 != "" {
 		s := experiments.E15Bench(*quick)
@@ -83,8 +114,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 15 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..15)\n", part)
+			if err != nil || n < 1 || n > 16 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..16)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -128,6 +159,7 @@ func main() {
 		{13, func() *trace.Table { return experiments.E13ChaosSweep(1, chaosSeeds) }},
 		{14, func() *trace.Table { return experiments.E14Incremental(*quick) }},
 		{15, func() *trace.Table { return experiments.E15Parallel(*quick) }},
+		{16, func() *trace.Table { return experiments.E16Restore(*quick) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

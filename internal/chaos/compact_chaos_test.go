@@ -1,0 +1,49 @@
+package chaos
+
+import "testing"
+
+// compactionSpec forces server-side compaction onto a generated
+// scenario: incremental shipping on and a tight fold bound, with the
+// seed's own faults (node failures, partitions, storage faults) left
+// intact. The generator draws CompactAfter on only half the incremental
+// seeds; this sweep makes sure EVERY seed in range runs folds under
+// fire.
+func compactionSpec(seed int64) *Spec {
+	sp := Generate(seed)
+	sp.Incremental = true
+	if sp.CompactAfter == 0 {
+		sp.CompactAfter = 2 + int(seed%3) // 2..4, deterministic per seed
+	}
+	return sp
+}
+
+// TestChaosCompactionSweep: with compaction running concurrently with
+// failovers, no seed may lose an acked checkpoint, leave the recovery
+// pointer unrestorable, exceed the CompactAfter bound without a counted
+// fold failure, or corrupt restored state. This is the chaos-level
+// guarantee behind the fold protocol's ordering (durable publish before
+// GC, fence checked at the commit point).
+func TestChaosCompactionSweep(t *testing.T) {
+	for seed := int64(1); seed <= 80; seed++ {
+		r := Run(compactionSpec(seed))
+		if len(r.Violations) > 0 {
+			t.Errorf("seed %d: %s", seed, r.Summary())
+			for _, v := range r.Violations {
+				t.Errorf("  %s", v)
+			}
+			t.Errorf("  reproduce: %s", r.Spec.ReplayLine())
+		}
+	}
+}
+
+// TestChaosCompactionDeterministic: folding is background server-side
+// work, but it ticks on the same simulated clock as everything else —
+// two runs of a compaction-heavy spec must still produce equal digests.
+func TestChaosCompactionDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		if ok, a, b := Confirm(compactionSpec(seed)); !ok {
+			t.Fatalf("seed %d nondeterministic under compaction: digest %#x vs %#x",
+				seed, a.Digest, b.Digest)
+		}
+	}
+}

@@ -130,5 +130,13 @@ func Generate(seed int64) *Spec {
 	if rng.Float64() < 0.5 {
 		sp.Pipeline = []int{1, 2, 4}[rng.Intn(3)]
 	}
+
+	// Server-side compaction on about half the incremental seeds, with a
+	// low bound so sweep-sized runs fold several times. Drawn last, after
+	// Pipeline, for the same replay-stability reason; the draw happens
+	// only on Incremental seeds so non-chain replay lines are untouched.
+	if sp.Incremental && rng.Float64() < 0.5 {
+		sp.CompactAfter = 2 + rng.Intn(3) // 2..4
+	}
 	return sp
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
+	"repro/internal/storage"
 )
 
 // Violation is one invariant breach observed in a run.
@@ -29,6 +30,10 @@ type Audit struct {
 	Want uint64
 	// ReadObject reads an object from the checkpoint server.
 	ReadObject func(name string) ([]byte, error)
+	// Target is a read-side handle on the checkpoint server for checkers
+	// that exercise the real restore entry points (LoadChain) instead of
+	// reading objects one by one.
+	Target storage.Target
 	// Aborted is the supervisor's terminal error, if it gave up.
 	Aborted error
 }
@@ -50,6 +55,7 @@ func DefaultCheckers() []Checker {
 	return []Checker{
 		&doubleCommitChecker{},
 		&ackedDurabilityChecker{},
+		&restorableChecker{},
 		&digestChecker{},
 		&oracleChecker{},
 		&livenessChecker{},
@@ -186,6 +192,48 @@ func (c *ackedDurabilityChecker) chainViolations(a *Audit) []Violation {
 		}
 		name = img.Parent
 	}
+}
+
+// --- the recovery pointer always loads a bounded, intact chain ---
+
+// restorableChecker exercises the real restore entry point against the
+// final recovery pointer: checkpoint.LoadChain from the last acked leaf
+// must succeed — walking parent links, verifying the chain, bounded
+// against cycles — exactly as a failover at the instant the run ended
+// would. This subsumes per-object durability with the property restore
+// actually needs, and it is the invariant compaction could most easily
+// break: a fold that deleted a delta before its replacement was durable,
+// or published a folded image that fails VerifyChain against a child,
+// surfaces here and nowhere else. When compaction is enabled and every
+// fold succeeded, the loaded chain must also respect the CompactAfter
+// bound — the whole point of paying for server-side folds.
+type restorableChecker struct {
+	lastAck string
+}
+
+func (c *restorableChecker) Name() string { return "chain-restorable" }
+
+func (c *restorableChecker) Event(ev cluster.Event) {
+	if ev.Kind == cluster.EvAck {
+		c.lastAck = ev.Object
+	}
+}
+
+func (c *restorableChecker) Finish(a *Audit) []Violation {
+	if c.lastAck == "" || a.Target == nil {
+		return nil
+	}
+	chain, err := checkpoint.LoadChain(a.Target, nil, c.lastAck)
+	if err != nil {
+		return []Violation{{c.Name(), fmt.Sprintf("acked leaf %s does not load a restorable chain: %v", c.lastAck, err)}}
+	}
+	if k := a.Spec.CompactAfter; k > 0 && a.C.Counters.Get("compact.failed") == 0 {
+		if deltas := len(chain) - 1; deltas > k {
+			return []Violation{{c.Name(), fmt.Sprintf(
+				"chain from %s replays %d deltas despite CompactAfter=%d and no failed folds", c.lastAck, deltas, k)}}
+		}
+	}
+	return nil
 }
 
 // --- restored state digest matches the reference ---

@@ -98,17 +98,18 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 	mon := detector.NewMonitor(c, det, detector.Config{Period: sp.HBPeriod, Observer: sp.observer()}, c.Counters)
 
 	sup, err := cluster.NewSupervisor(cluster.SupervisorConfig{
-		C:           c,
-		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
-		Prog:        prog,
-		Iterations:  sp.Iterations,
-		Interval:    sp.Interval,
-		Incremental: sp.Incremental,
-		RebaseEvery: sp.RebaseEvery,
-		Detector:    mon,
-		ControlNode: sp.observer(),
-		NoFencing:   sp.NoFencing,
-		Pipeline:    sp.pipelineConfig(),
+		C:            c,
+		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
+		Prog:         prog,
+		Iterations:   sp.Iterations,
+		Interval:     sp.Interval,
+		Incremental:  sp.Incremental,
+		RebaseEvery:  sp.RebaseEvery,
+		CompactAfter: sp.CompactAfter,
+		Detector:     mon,
+		ControlNode:  sp.observer(),
+		NoFencing:    sp.NoFencing,
+		Pipeline:     sp.pipelineConfig(),
 	})
 	if err != nil {
 		// A generated scenario that the supervisor itself rejects is a
@@ -145,6 +146,7 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 		ReadObject: func(name string) ([]byte, error) {
 			return storage.NewRemote("chaos-audit", c.Server).ReadObject(name, nil)
 		},
+		Target:  storage.NewRemote("chaos-audit", c.Server),
 		Aborted: runErr,
 	}
 	res := &Result{

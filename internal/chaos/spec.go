@@ -105,6 +105,14 @@ type Spec struct {
 	// synchronous path, and the default for replay lines predating the
 	// pipeline.
 	Pipeline int `json:"pipeline,omitempty"`
+
+	// CompactAfter, when positive (Incremental seeds only), makes the
+	// supervisor fold chains longer than that many deltas into a fresh
+	// full image on the server and retire the folded deltas — the
+	// storage-side chain bound the chain-restorable checker exercises.
+	// Zero disables, and is the default for replay lines predating
+	// compaction.
+	CompactAfter int `json:"compact,omitempty"`
 }
 
 // pipelineConfig translates the Pipeline knob into the supervisor's

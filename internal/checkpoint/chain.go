@@ -1,6 +1,10 @@
 package checkpoint
 
-import "repro/internal/simos/mem"
+import (
+	"sort"
+
+	"repro/internal/simos/mem"
+)
 
 // CarryTracker wraps a Tracker for callers whose captures can fail after
 // collection. A Tracker's Collect clears its dirty set, so a delta whose
@@ -57,8 +61,12 @@ func (t *CarryTracker) Close() {
 	t.inner.Close()
 }
 
-// mergeRanges returns the page-granular union of two range sets as
+// mergeRanges returns the union of two page-granular range sets as
 // sorted, coalesced, non-overlapping ranges (the shape Capture expects).
+// It coalesces intervals directly — the earlier implementation expanded
+// every range to individual page numbers first, an O(bytes/page)
+// allocation that made carrying a large failed delta (exactly the
+// storage-fault retry path) far more expensive than shipping it.
 func mergeRanges(a, b []Range) []Range {
 	if len(a) == 0 {
 		return b
@@ -66,14 +74,21 @@ func mergeRanges(a, b []Range) []Range {
 	if len(b) == 0 {
 		return a
 	}
-	var pages []mem.PageNum
-	for _, rs := range [][]Range{a, b} {
-		for _, r := range rs {
-			end := r.Addr + mem.Addr(r.Length)
-			for pn := r.Addr.Page(); pn.Base() < end; pn++ {
-				pages = append(pages, pn)
+	rs := make([]Range, 0, len(a)+len(b))
+	rs = append(rs, a...)
+	rs = append(rs, b...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Addr < rs[j].Addr })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		lastEnd := last.Addr + mem.Addr(last.Length)
+		if r.Addr <= lastEnd {
+			if end := r.Addr + mem.Addr(r.Length); end > lastEnd {
+				last.Length += int(end - lastEnd)
 			}
+			continue
 		}
+		out = append(out, r)
 	}
-	return pagesToRanges(pages)
+	return out
 }

@@ -1,0 +1,140 @@
+// Chain folding: collapse a verified restore chain into one full image
+// that restores byte-identically to replaying the whole chain. This is
+// the image-format half of background chain compaction — the storage
+// layer owns the durability protocol (atomic replace under the leaf's
+// name, GC only after the folded image is durable; see
+// storage.CompactChain) but cannot decode images, so the fold itself
+// lives here and is handed across as a callback.
+
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/simos/mem"
+)
+
+// FoldChain merges chain (oldest-first) into a single full image with
+// the leaf's identity and metadata. The folded image keeps the leaf's
+// Epoch, PID and Seq, so its ObjectName is the leaf's own name: deltas
+// later chained onto the leaf still find their parent, and a chain walk
+// from them now terminates here. Memory contents are the chain's
+// per-page last-writer-wins resolution restricted to the leaf's layout —
+// exactly what Restore computes — so restoring the folded image is
+// byte-identical to replaying the chain it replaces.
+func FoldChain(chain []*Image) (*Image, error) {
+	if err := VerifyChain(chain); err != nil {
+		return nil, fmt.Errorf("checkpoint: fold: %w", err)
+	}
+	leaf := chain[len(chain)-1]
+	folded := *leaf
+	folded.Mode = ModeFull
+	folded.Parent = ""
+
+	plan, err := planReplay(chain)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: fold: %w", err)
+	}
+
+	// Materialize each touched page's final contents and its covered
+	// byte intervals, then emit extents over exactly the covered bytes:
+	// uncaptured bytes of a mapped page are zero after either restore
+	// path, so covering more would change nothing and covering less
+	// would lose a write.
+	type run struct {
+		addr mem.Addr
+		data []byte
+	}
+	var runs []run
+	for _, j := range plan.jobs {
+		var content [mem.PageSize]byte
+		type iv struct{ lo, hi int }
+		var covered []iv
+		for _, s := range j.spans {
+			copy(content[s.off:], s.data)
+			covered = append(covered, iv{s.off, s.off + len(s.data)})
+		}
+		// Merge the covered intervals (spans may overlap arbitrarily).
+		for i := 1; i < len(covered); i++ {
+			for k := 0; k < i; k++ {
+				a, b := covered[i], covered[k]
+				if a.lo <= b.hi && b.lo <= a.hi {
+					if b.lo < a.lo {
+						a.lo = b.lo
+					}
+					if b.hi > a.hi {
+						a.hi = b.hi
+					}
+					covered[i] = a
+					covered = append(covered[:k], covered[k+1:]...)
+					i--
+					break
+				}
+			}
+		}
+		base := j.page.Base()
+		for _, c := range covered {
+			runs = append(runs, run{addr: base + mem.Addr(c.lo), data: append([]byte(nil), content[c.lo:c.hi]...)})
+		}
+	}
+	// Address order, then coalesce adjacent runs so page-granular chains
+	// fold back into the long extents a full capture would produce.
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j].addr < runs[j-1].addr; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+
+	secs := make([]VMASection, len(leaf.VMAs))
+	for i, v := range leaf.VMAs {
+		secs[i] = v
+		secs[i].Extents = nil
+	}
+	for _, r := range runs {
+		si := -1
+		for i := range secs {
+			if r.addr >= secs[i].Start && r.addr < secs[i].Start+mem.Addr(secs[i].Length) {
+				si = i
+				break
+			}
+		}
+		if si < 0 {
+			// planReplay only plans pages mapped in the leaf layout.
+			return nil, fmt.Errorf("checkpoint: fold: run %#x outside leaf layout", uint64(r.addr))
+		}
+		exts := secs[si].Extents
+		if n := len(exts); n > 0 && exts[n-1].Addr+mem.Addr(len(exts[n-1].Data)) == r.addr {
+			exts[n-1].Data = append(exts[n-1].Data, r.data...)
+			secs[si].Extents = exts
+			continue
+		}
+		secs[si].Extents = append(exts, Extent{Addr: r.addr, Data: r.data})
+	}
+	folded.VMAs = secs
+
+	if err := folded.Verify(); err != nil {
+		return nil, fmt.Errorf("checkpoint: fold: %w", err)
+	}
+	return &folded, nil
+}
+
+// FoldEncodedChain decodes an encoded chain (oldest-first), folds it,
+// and re-encodes the result. It is storage.FoldFunc-shaped: the
+// storage-side compactor works on opaque objects and takes the image
+// knowledge it needs through this callback (the cluster wires the two
+// together).
+func FoldEncodedChain(blobs [][]byte) ([]byte, error) {
+	chain := make([]*Image, len(blobs))
+	for i, b := range blobs {
+		img, err := Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: fold link %d: %w", i, err)
+		}
+		chain[i] = img
+	}
+	folded, err := FoldChain(chain)
+	if err != nil {
+		return nil, err
+	}
+	return folded.EncodeBytes()
+}

@@ -10,8 +10,8 @@ import (
 	"repro/internal/simos/mem"
 	"repro/internal/simos/proc"
 	"repro/internal/simos/sig"
-	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // RestoreOptions tune the restore engine. The defaults reproduce the weak
@@ -41,6 +41,17 @@ type RestoreOptions struct {
 	// Env, when non-nil, is billed for the restore work (memory copies);
 	// reading the images from storage is charged separately by LoadChain.
 	Env *storage.Env
+	// Parallelism shards chain replay across a worker pool of that size
+	// (0 or 1 = sequential). Restored memory is byte-identical at any
+	// width — the replay plan resolves per-page last-writer-wins before
+	// any worker runs — only the simulated restore time changes. Like
+	// capture, callers opt in explicitly; defaulting to the host's core
+	// count would make simulated results machine-dependent.
+	Parallelism int
+	// Metrics, when non-nil, receives restore.* counters (pages, bytes
+	// copied, bytes pruned, extents). Latency distributions are recorded
+	// by the orchestration layer, which also sees the storage read time.
+	Metrics *trace.Metrics
 }
 
 // ErrNeedsChain is returned when restoring an incremental image without
@@ -48,14 +59,27 @@ type RestoreOptions struct {
 var ErrNeedsChain = errors.New("checkpoint: incremental image requires its parent chain")
 
 // LoadChain reads the image named leaf from the target and follows Parent
-// links until a full image, returning the chain oldest-first.
+// links until a full image, returning the chain oldest-first. The walk is
+// bounded: an empty leaf name and a corrupted chain whose parent links
+// cycle both return errors wrapping ErrNeedsChain instead of panicking or
+// spinning forever — a restore must fail cleanly on the worst chain a
+// faulty store can serve, because it runs at the worst possible time.
 func LoadChain(t storage.Target, env *storage.Env, leaf string) ([]*Image, error) {
+	if leaf == "" {
+		return nil, fmt.Errorf("%w: empty leaf object name", ErrNeedsChain)
+	}
 	if env == nil {
 		env = storage.NopEnv()
 	}
 	var rev []*Image
+	seen := make(map[string]bool)
 	name := leaf
 	for name != "" {
+		if seen[name] {
+			return nil, fmt.Errorf("%w: %w: parent links cycle back to %s (chain of %d from %s)",
+				ErrNeedsChain, ErrCorrupt, name, len(rev), leaf)
+		}
+		seen[name] = true
 		data, err := t.ReadObject(name, env)
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: load %s: %w", name, err)
@@ -83,6 +107,52 @@ func LoadChain(t storage.Target, env *storage.Env, leaf string) ([]*Image, error
 		return nil, err
 	}
 	return out, nil
+}
+
+// LoadChainManifest reads a chain whose object names are already known
+// (oldest-first), the restore fast path a supervisor-held chain manifest
+// enables: targets implementing storage.BatchReader serve the whole list
+// in one scheduled pass — one positioning cost instead of one seek per
+// link — where LoadChain's link-by-link walk must pay a round trip per
+// ancestor to discover the next name. The loaded chain is verified
+// exactly like a walked one; a manifest that has drifted from what the
+// store holds (a hole, a stale name, a fold that changed ancestry) fails
+// verification here and the caller falls back to the walk.
+func LoadChainManifest(t storage.Target, env *storage.Env, objects []string) ([]*Image, error) {
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("%w: empty chain manifest", ErrNeedsChain)
+	}
+	if env == nil {
+		env = storage.NopEnv()
+	}
+	var blobs [][]byte
+	if br, ok := t.(storage.BatchReader); ok {
+		b, err := br.ReadBatch(objects, env)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: load manifest: %w", err)
+		}
+		blobs = b
+	} else {
+		for _, name := range objects {
+			data, err := t.ReadObject(name, env)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: load %s: %w", name, err)
+			}
+			blobs = append(blobs, data)
+		}
+	}
+	chain := make([]*Image, len(blobs))
+	for i, data := range blobs {
+		img, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: decode %s: %w", objects[i], err)
+		}
+		chain[i] = img
+	}
+	if err := VerifyChain(chain); err != nil {
+		return nil, err
+	}
+	return chain, nil
 }
 
 // Restore rebuilds a process on k from an image chain (oldest-first; a
@@ -142,30 +212,46 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 			return nil, fmt.Errorf("checkpoint: restore map: %w", err)
 		}
 	}
-	// Contents oldest-first. Extents of VMAs that no longer exist in the
-	// leaf layout (unmapped since) are skipped.
-	copied := 0
-	for _, img := range chain {
-		for _, v := range img.VMAs {
-			for _, e := range v.Extents {
-				if p.AS.Find(e.Addr) == nil {
-					continue
-				}
-				if err := p.AS.WriteDirect(e.Addr, e.Data); err != nil {
-					cleanup()
-					return nil, fmt.Errorf("checkpoint: restore extent %#x: %w", uint64(e.Addr), err)
-				}
-				copied += len(e.Data)
-			}
-		}
+	// Contents oldest-first, resolved to per-page last-writer-wins jobs
+	// before any byte moves. Extents of VMAs that no longer exist in the
+	// leaf layout (unmapped since) are skipped. The same plan drives the
+	// sequential and the sharded path, so restored memory is
+	// byte-identical at every worker count.
+	plan, err := planReplay(chain)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	workers := opt.Parallelism
+	if workers <= 1 {
+		workers = 1
+	}
+	if workers > len(plan.jobs) && len(plan.jobs) > 0 {
+		workers = len(plan.jobs)
 	}
 	// Copying the image back into memory costs real time on the target
 	// machine: bill the provided Env, or the kernel itself by default.
+	// Parallel replay divides the copy across the pool (plus its
+	// fork/join overhead), exactly like the sharded capture's encode;
+	// the cost is charged up-front from this goroutine because the
+	// simulated clock cannot be advanced from workers.
 	var bill costmodel.Biller = k
 	if opt.Env != nil && opt.Env.Bill != nil {
 		bill = opt.Env.Bill
 	}
-	bill.Charge(simtime.Duration(float64(copied)/1.2e9*float64(simtime.Second)), "restore-copy")
+	bill.Charge(RestoreCost(plan.copied, workers), "restore-copy")
+	if err := applyPlan(p.AS, &plan, workers); err != nil {
+		cleanup()
+		return nil, err
+	}
+	if opt.Metrics != nil {
+		c := opt.Metrics.Counters
+		c.Inc("restore.images", int64(len(chain)))
+		c.Inc("restore.pages", int64(len(plan.jobs)))
+		c.Inc("restore.bytes_copied", int64(plan.copied))
+		c.Inc("restore.bytes_pruned", int64(plan.pruned))
+		c.Inc("restore.workers", int64(workers))
+	}
 	if leaf.Brk != 0 {
 		if err := p.AS.SetBrk(leaf.Brk); err != nil {
 			cleanup()
@@ -204,6 +290,14 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 				cleanup()
 				return nil, fmt.Errorf("checkpoint: fd %d refers to deleted %s and contents are not available", f.FD, f.Path)
 			}
+			// WriteFile itself cannot fail, but it would silently replace
+			// whatever now lives at the path — recreating an unlinked
+			// file over a device node is never what the image meant.
+			if n, lerr := k.FS.Lookup(f.Path); lerr == nil && n.Kind != fs.KindRegular {
+				cleanup()
+				return nil, fmt.Errorf("checkpoint: restore fd %d: recreate deleted %s: path now holds a %s node",
+					f.FD, f.Path, n.Kind)
+			}
 			k.FS.WriteFile(f.Path, f.Contents)
 		}
 		of, err := k.FS.Open(f.Path, f.Flags&^fs.OAppend)
@@ -213,7 +307,7 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 		}
 		if err := of.SeekTo(f.Offset); err != nil {
 			cleanup()
-			return nil, err
+			return nil, fmt.Errorf("checkpoint: restore fd %d: seek %s to offset %d: %w", f.FD, f.Path, f.Offset, err)
 		}
 		p.InstallFDAt(f.FD, of)
 	}

@@ -274,6 +274,9 @@ func (s *Supervisor) noteAckObject(a *ckptAgent, obj string, full bool,
 	if s.Incremental && len(retire) > 0 {
 		s.retire(a, tgt, retire, obj)
 	}
+	if s.Incremental && !full {
+		s.maybeCompact(a, tgt)
+	}
 }
 
 // retire garbage-collects superseded checkpoint objects through the

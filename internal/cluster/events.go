@@ -48,6 +48,10 @@ const (
 	// checkpoint Object after a rebase made it unreachable from the
 	// recovery pointer.
 	EvRetire EventKind = "retire"
+	// EvCompact: the supervisor folded the live chain into a fresh full
+	// image published under Object (the chain's own leaf name); the
+	// folded ancestors are retired afterwards, each with its own EvRetire.
+	EvCompact EventKind = "compact"
 )
 
 // Event is one entry of the supervisor's orchestration log.

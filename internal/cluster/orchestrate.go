@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/checkpoint"
+	"repro/internal/costmodel"
 	"repro/internal/mechanism"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
@@ -317,6 +318,20 @@ type Supervisor struct {
 	// overlapping capture of epoch N+1 with the transfer of epoch N (see
 	// pipeline.go). Autonomic mode only.
 	Pipeline *PipelineConfig
+	// CompactAfter, when positive with Incremental, bounds the live chain
+	// on the server: whenever an ack leaves more than CompactAfter deltas
+	// behind the full head, the supervisor folds the chain into a fresh
+	// full image under the leaf's own name (storage.CompactChain) and
+	// retires the folded deltas. Unlike RebaseEvery — which bounds the
+	// chain by making the agent ship a periodic full — compaction is
+	// server-side: no capture traffic, and restore never replays more
+	// than CompactAfter deltas. Autonomic mode only; 0 disables.
+	CompactAfter int
+	// RestoreWorkers shards chain replay on every restart through
+	// mechanism.RestoreParallelizer (0 = follow the pipeline's capture
+	// width, or sequential without a pipeline). Restored memory is
+	// byte-identical at any width.
+	RestoreWorkers int
 	// OracleReads counts decision-path reads of simulator ground truth
 	// (Alive / direct process-table inspection). Autonomic mode performs
 	// none: its tests assert this stays zero.
@@ -457,6 +472,19 @@ func (s *Supervisor) rebaseEvery() int {
 	return 8
 }
 
+// restoreWorkers returns the replay pool width for restarts: the
+// explicit RestoreWorkers, else the pipeline's capture width (a node
+// provisioned to shard captures can shard replays), else sequential.
+func (s *Supervisor) restoreWorkers() int {
+	if s.RestoreWorkers > 0 {
+		return s.RestoreWorkers
+	}
+	if s.Pipeline != nil {
+		return s.Pipeline.captureWorkers()
+	}
+	return 1
+}
+
 // LastLeaf returns the object name of the newest acknowledged
 // checkpoint — the recovery pointer — or "" before the first ack.
 func (s *Supervisor) LastLeaf() string { return s.lastLeaf }
@@ -481,6 +509,9 @@ func (s *Supervisor) mech(node int) (mechanism.Mechanism, error) {
 	m := s.MkMech()
 	if err := m.Install(n.K); err != nil {
 		return nil, err
+	}
+	if rp, ok := m.(mechanism.RestoreParallelizer); ok {
+		rp.SetRestoreParallelism(s.restoreWorkers())
 	}
 	s.mechAt[node] = nodeMech{n.K, m}
 	return m, nil
@@ -610,7 +641,7 @@ func (s *Supervisor) recover() error {
 	} else {
 		src = s.C.Node(spare).Remote()
 	}
-	chain := s.loadRecoveryChain(src)
+	chain, readWait := s.loadRecoveryChain(src)
 	if chain == nil {
 		// Nothing recoverable: start over (the paper's warning about
 		// local-only storage).
@@ -633,6 +664,7 @@ func (s *Supervisor) recover() error {
 	if err != nil {
 		return err
 	}
+	s.observeRestore(chain, readWait)
 	s.node = spare
 	s.pid = p.PID
 	s.Restarts++
@@ -643,14 +675,32 @@ func (s *Supervisor) recover() error {
 // full ancestry of lastLeaf, or — when a mid-chain image is torn or
 // lost — the chain of the last acked full image, the newest intact
 // ancestor the supervisor still holds a name for. Returns nil when
-// neither loads (scratch restart).
-func (s *Supervisor) loadRecoveryChain(src storage.Target) []*checkpoint.Image {
+// neither loads (scratch restart). readWait is the simulated storage
+// wait the successful load cost — the read half of the restore latency
+// observeRestore records.
+func (s *Supervisor) loadRecoveryChain(src storage.Target) (chain []*checkpoint.Image, readWait simtime.Duration) {
 	if s.lastLeaf == "" || src == nil || !src.Available() {
-		return nil
+		return nil, 0
 	}
-	chain, err := checkpoint.LoadChain(src, nil, s.lastLeaf)
+	env := &storage.Env{Bill: costmodel.Discard{},
+		Wait: func(d simtime.Duration, _ string) { readWait += d }}
+	// Fast path: when the supervisor still holds the manifest for the
+	// chain ending at the recovery pointer, fetch it in one batched pass
+	// instead of a seek-per-link parent walk. Any mismatch between the
+	// manifest and what the store serves fails verification and drops to
+	// the walk below, which re-discovers ancestry from the images alone.
+	if n := len(s.chainObjs); n > 0 && s.chainObjs[n-1] == s.lastLeaf {
+		manifest := append([]string(nil), s.chainObjs...)
+		chain, err := checkpoint.LoadChainManifest(src, env, manifest)
+		if err == nil {
+			s.Counters.Inc("restore.manifest_reads", 1)
+			return chain, readWait
+		}
+		readWait = 0
+	}
+	chain, err := checkpoint.LoadChain(src, env, s.lastLeaf)
 	if err == nil {
-		return chain
+		return chain, readWait
 	}
 	switch {
 	case errors.Is(err, checkpoint.ErrCorrupt):
@@ -663,16 +713,39 @@ func (s *Supervisor) loadRecoveryChain(src storage.Target) []*checkpoint.Image {
 		s.Counters.Inc("ckpt.lost", 1)
 	}
 	if s.lastFull == "" || s.lastFull == s.lastLeaf {
-		return nil
+		return nil, 0
 	}
 	// Torn-chain fallback: rewind the recovery pointer to the last full
 	// image. The deltas after it are lost, the job is not.
-	chain, err = checkpoint.LoadChain(src, nil, s.lastFull)
+	readWait = 0
+	chain, err = checkpoint.LoadChain(src, env, s.lastFull)
 	if err != nil {
-		return nil
+		return nil, 0
 	}
 	s.Counters.Inc("ckpt.chain_fallback", 1)
-	return chain
+	return chain, readWait
+}
+
+// observeRestore records the modeled recovery latency of a successful
+// restart: the measured storage wait of the chain read plus the replay
+// cost at the supervisor's restore width. The replay cost is modeled
+// (checkpoint.RestoreCost over the chain's post-pruning bytes) rather
+// than measured off the node clock so the histogram stays comparable
+// across nodes and the observation itself never perturbs the cluster's
+// deterministic schedule.
+func (s *Supervisor) observeRestore(chain []*checkpoint.Image, readWait simtime.Duration) {
+	if s.Metrics == nil {
+		return
+	}
+	workers := s.restoreWorkers()
+	lat := readWait
+	if n, err := checkpoint.ReplayBytes(chain); err == nil {
+		lat += checkpoint.RestoreCost(n, workers)
+	}
+	s.Metrics.Hist("restore.latency").Observe(float64(lat.Millis()))
+	s.Metrics.Hist("restore.chain_len").Observe(float64(len(chain)))
+	s.Counters.Inc("restore.count", 1)
+	s.Counters.Inc("restore.deltas_replayed", int64(len(chain)-1))
 }
 
 // runAutonomic is the detector-driven main loop: the supervisor sits on
@@ -780,7 +853,7 @@ func (s *Supervisor) recoverFenced() error {
 	if spare < 0 {
 		return errors.New("cluster: no unsuspected spare node")
 	}
-	chain := s.loadRecoveryChain(s.C.Node(spare).Remote())
+	chain, readWait := s.loadRecoveryChain(s.C.Node(spare).Remote())
 	s.Restarts++
 	if chain == nil {
 		s.FromScratch++
@@ -807,6 +880,7 @@ func (s *Supervisor) recoverFenced() error {
 	if err != nil {
 		return err
 	}
+	s.observeRestore(chain, readWait)
 	s.node = spare
 	s.pid = p.PID
 	s.armAgent(spare, s.pid, epoch)

@@ -49,6 +49,14 @@ type SupervisorConfig struct {
 	// RebaseEvery bounds the chain (0 = default 8).
 	Incremental bool
 	RebaseEvery int
+	// CompactAfter, when positive with Incremental, additionally bounds
+	// the chain server-side: past that many deltas the supervisor folds
+	// the chain into one full image on the server and retires the folded
+	// deltas (no capture traffic). 0 disables.
+	CompactAfter int
+	// RestoreWorkers shards chain replay on restarts (0 = follow the
+	// pipeline's capture width, else sequential).
+	RestoreWorkers int
 
 	// Counters defaults to the cluster's shared counter set. Metrics
 	// (latency histograms) defaults to a bundle sharing those counters.
@@ -95,6 +103,15 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.RebaseEvery < 0 {
 		return nil, fmt.Errorf("cluster: NewSupervisor: negative RebaseEvery %d", cfg.RebaseEvery)
 	}
+	if cfg.CompactAfter < 0 {
+		return nil, fmt.Errorf("cluster: NewSupervisor: negative CompactAfter %d", cfg.CompactAfter)
+	}
+	if cfg.CompactAfter > 0 && !cfg.Incremental {
+		return nil, errors.New("cluster: NewSupervisor: CompactAfter without Incremental (nothing to fold)")
+	}
+	if cfg.RestoreWorkers < 0 {
+		return nil, fmt.Errorf("cluster: NewSupervisor: negative RestoreWorkers %d", cfg.RestoreWorkers)
+	}
 	if cfg.Pipeline != nil {
 		if err := cfg.Pipeline.validate(); err != nil {
 			return nil, err
@@ -105,28 +122,30 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 
 	s := &Supervisor{
-		C:             cfg.C,
-		MkMech:        cfg.MkMech,
-		Prog:          cfg.Prog,
-		Iterations:    cfg.Iterations,
-		Interval:      cfg.Interval,
-		Adaptive:      cfg.Adaptive,
-		UseLocalDisk:  cfg.UseLocalDisk,
-		Estimator:     cfg.Estimator,
-		MaxRetries:    cfg.MaxRetries,
-		RetryBackoff:  cfg.RetryBackoff,
-		LocalFallback: cfg.LocalFallback,
-		UnsafeCommit:  cfg.UnsafeCommit,
-		Incremental:   cfg.Incremental,
-		RebaseEvery:   cfg.RebaseEvery,
-		Counters:      cfg.Counters,
-		Metrics:       cfg.Metrics,
-		Detector:      cfg.Detector,
-		Fence:         cfg.Fence,
-		NoFencing:     cfg.NoFencing,
-		ControlNode:   cfg.ControlNode,
-		Pipeline:      cfg.Pipeline,
-		OnEvent:       cfg.OnEvent,
+		C:              cfg.C,
+		MkMech:         cfg.MkMech,
+		Prog:           cfg.Prog,
+		Iterations:     cfg.Iterations,
+		Interval:       cfg.Interval,
+		Adaptive:       cfg.Adaptive,
+		UseLocalDisk:   cfg.UseLocalDisk,
+		Estimator:      cfg.Estimator,
+		MaxRetries:     cfg.MaxRetries,
+		RetryBackoff:   cfg.RetryBackoff,
+		LocalFallback:  cfg.LocalFallback,
+		UnsafeCommit:   cfg.UnsafeCommit,
+		Incremental:    cfg.Incremental,
+		RebaseEvery:    cfg.RebaseEvery,
+		CompactAfter:   cfg.CompactAfter,
+		RestoreWorkers: cfg.RestoreWorkers,
+		Counters:       cfg.Counters,
+		Metrics:        cfg.Metrics,
+		Detector:       cfg.Detector,
+		Fence:          cfg.Fence,
+		NoFencing:      cfg.NoFencing,
+		ControlNode:    cfg.ControlNode,
+		Pipeline:       cfg.Pipeline,
+		OnEvent:        cfg.OnEvent,
 	}
 	// Defaults, applied eagerly so a constructed Supervisor is fully
 	// specified before Run.

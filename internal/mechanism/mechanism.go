@@ -102,6 +102,17 @@ type CaptureParallelizer interface {
 	SetCaptureParallelism(workers int)
 }
 
+// RestoreParallelizer is the restart-side mirror of CaptureParallelizer:
+// mechanisms whose Restart can shard chain replay across a worker pool.
+// Orchestration layers set the width once after Install; mechanisms
+// without the method replay sequentially.
+type RestoreParallelizer interface {
+	// SetRestoreParallelism sets the worker-pool width for subsequent
+	// restarts (0 or 1 = sequential). Restored memory is byte-identical
+	// at any width; only the simulated restore time changes.
+	SetRestoreParallelism(workers int)
+}
+
 // ErrUnsupported is returned when a mechanism cannot handle the process
 // (e.g. a single-threaded-only checkpointer asked to capture threads).
 var ErrUnsupported = errors.New("mechanism: unsupported process")

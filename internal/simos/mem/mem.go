@@ -636,6 +636,29 @@ func (as *AddressSpace) WriteDirect(addr Addr, data []byte) error {
 	return nil
 }
 
+// PageBuffer materializes the page pn and returns its backing buffer for
+// direct kernel-mode writes, marking it dirty and bumping the version
+// clock once. This is the parallel-restore seam: WriteDirect mutates the
+// per-VMA page map and the shared version clock and is therefore not
+// safe from worker goroutines, so a parallel replay materializes every
+// target page through this method first (sequentially) and then lets
+// workers copy into the disjoint buffers it returned.
+func (as *AddressSpace) PageBuffer(pn PageNum) ([]byte, error) {
+	a := pn.Base()
+	v := as.Find(a)
+	if v == nil {
+		return nil, &Fault{Addr: a, Access: AccessWrite}
+	}
+	pg := v.page(pn)
+	if pg.data == nil {
+		pg.data = make([]byte, PageSize)
+	}
+	pg.dirty = true
+	as.versionClock++
+	pg.version = as.versionClock
+	return pg.data, nil
+}
+
 // PageInfo describes one resident page for iteration.
 type PageInfo struct {
 	VMA  *VMA

@@ -1,0 +1,91 @@
+// Chain compaction: fold a long delta chain into a fresh full image so
+// restore never replays more than a bounded number of deltas. The
+// protocol is ordered for the failure that matters — a crash or fence
+// mid-compaction: the folded image publishes atomically under the
+// chain's own leaf name first, and only once that publish has returned
+// (the image is durable and readable) are the folded ancestors
+// garbage-collected. At every instant the leaf name resolves to a
+// restorable image — the old delta with its ancestry intact, or the new
+// full — and a stale incarnation's compactor is fenced off from both
+// the publish and the GC exactly like any other writer.
+//
+// The storage layer cannot decode images, so what "fold" means is
+// injected as a callback (checkpoint.FoldEncodedChain); this file owns
+// only the durability ordering.
+
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FoldFunc merges an encoded chain (oldest-first, head full) into one
+// encoded full image that restores identically. It must preserve the
+// leaf's object identity: the result is published under the chain's
+// leaf name, so children chained onto the leaf keep a durable parent.
+type FoldFunc func(blobs [][]byte) ([]byte, error)
+
+// CompactStats reports what one CompactChain call did.
+type CompactStats struct {
+	Folded   string   // leaf name the folded image was published under ("" if not durable)
+	Deltas   int      // chain links folded away (len(objects)-1)
+	BytesIn  int      // encoded bytes read across the chain
+	BytesOut int      // encoded bytes of the folded image
+	Deleted  []string // ancestors reclaimed after the publish
+	Pending  []string // ancestors a failed GC left behind (retry later)
+}
+
+// CompactChain folds the chain objects (oldest-first, leaf last) into a
+// single full image and publishes it atomically under the leaf's name,
+// then retires the folded ancestors. A non-empty Folded in the returned
+// stats means the fold is durable even if err is non-nil: GC failures
+// (including ErrFenced) surface the error but the chain is already
+// served by the folded image, so the caller's only obligation is to
+// retry Pending later. An error with Folded=="" means nothing changed.
+func CompactChain(t Target, objects []string, fold FoldFunc, env *Env) (CompactStats, error) {
+	var st CompactStats
+	if t == nil {
+		return st, errors.New("storage: CompactChain on nil target")
+	}
+	if fold == nil {
+		return st, errors.New("storage: CompactChain without fold func")
+	}
+	if len(objects) < 2 {
+		return st, fmt.Errorf("storage: compact chain of %d: nothing to fold", len(objects))
+	}
+	blobs := make([][]byte, len(objects))
+	for i, o := range objects {
+		data, err := t.ReadObject(o, env)
+		if err != nil {
+			return st, fmt.Errorf("storage: compact read %s: %w", o, err)
+		}
+		blobs[i] = data
+		st.BytesIn += len(data)
+	}
+	folded, err := fold(blobs)
+	if err != nil {
+		return st, fmt.Errorf("storage: compact fold: %w", err)
+	}
+	st.BytesOut = len(folded)
+	st.Deltas = len(objects) - 1
+
+	// Atomic replace under the leaf's own name: readers see either the
+	// old delta (whose ancestry is still fully present — nothing has
+	// been deleted yet) or the new full image, never a torn or orphaned
+	// state. The epoch fence applies here as to any publish.
+	leaf := objects[len(objects)-1]
+	if err := Write(t, leaf, folded, WriteOptions{Atomic: true, Env: env}); err != nil {
+		return st, fmt.Errorf("storage: compact publish %s: %w", leaf, err)
+	}
+	st.Folded = leaf
+
+	// Only now — with the fold durable — reclaim the folded ancestors.
+	deleted, pending, gerr := RetireChain(t, objects[:len(objects)-1])
+	st.Deleted = deleted
+	st.Pending = pending
+	if gerr != nil {
+		return st, fmt.Errorf("storage: compact gc after fold of %s: %w", leaf, gerr)
+	}
+	return st, nil
+}

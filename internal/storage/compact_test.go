@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// concatFold is a stand-in FoldFunc: the storage protocol treats images
+// as opaque, so a fold that just joins the blobs exercises everything
+// CompactChain owns (ordering, atomicity, GC).
+func concatFold(blobs [][]byte) ([]byte, error) {
+	return bytes.Join(blobs, []byte("+")), nil
+}
+
+func seedChain(t *testing.T, tgt Target) []string {
+	t.Helper()
+	objects := []string{"ckpt/e1/pid1/seq1", "ckpt/e1/pid1/seq2", "ckpt/e1/pid1/seq3"}
+	for _, o := range objects {
+		if err := Write(tgt, o, []byte(o), WriteOptions{Atomic: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return objects
+}
+
+// TestCompactChainReplacesLeafThenGCs: the folded image lands under the
+// leaf's own name, ancestors are deleted only afterwards, and the stats
+// account for both directions.
+func TestCompactChainReplacesLeafThenGCs(t *testing.T) {
+	l := NewLocal("d", costmodel.Default2005(), nil)
+	objects := seedChain(t, l)
+	st, err := CompactChain(l, objects, concatFold, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Folded != objects[2] || st.Deltas != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	got, err := l.ReadObject(objects[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "ckpt/e1/pid1/seq1+ckpt/e1/pid1/seq2+ckpt/e1/pid1/seq3"
+	if string(got) != want {
+		t.Fatalf("leaf holds %q, want folded %q", got, want)
+	}
+	for _, o := range objects[:2] {
+		if _, err := l.ReadObject(o, nil); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("ancestor %s survived GC (err=%v)", o, err)
+		}
+	}
+	if len(st.Deleted) != 2 || len(st.Pending) != 0 {
+		t.Fatalf("deleted=%v pending=%v", st.Deleted, st.Pending)
+	}
+	if st.BytesIn == 0 || st.BytesOut != len(want) {
+		t.Fatalf("bytes in/out = %d/%d", st.BytesIn, st.BytesOut)
+	}
+}
+
+// TestCompactChainFoldFailureChangesNothing: a failing fold must leave
+// every chain object exactly as it was.
+func TestCompactChainFoldFailureChangesNothing(t *testing.T) {
+	l := NewLocal("d", costmodel.Default2005(), nil)
+	objects := seedChain(t, l)
+	boom := func([][]byte) ([]byte, error) { return nil, errors.New("boom") }
+	st, err := CompactChain(l, objects, boom, nil)
+	if err == nil || st.Folded != "" {
+		t.Fatalf("err=%v folded=%q, want error with no durable fold", err, st.Folded)
+	}
+	for _, o := range objects {
+		data, rerr := l.ReadObject(o, nil)
+		if rerr != nil || string(data) != o {
+			t.Fatalf("object %s disturbed by failed fold (data=%q err=%v)", o, data, rerr)
+		}
+	}
+}
+
+// TestCompactChainFencedPublish: a stale-epoch compactor's publish is
+// rejected at the commit point and the chain survives intact — the same
+// guarantee any stale writer gets.
+func TestCompactChainFencedPublish(t *testing.T) {
+	l := NewLocal("d", costmodel.Default2005(), nil)
+	dom := NewFenceDomain("job", nil)
+	stale := FencedAt(l, dom, dom.Advance())
+	objects := seedChain(t, stale)
+	dom.Advance() // supersede the compactor's incarnation
+	st, err := CompactChain(stale, objects, concatFold, nil)
+	if !errors.Is(err, ErrFenced) || st.Folded != "" {
+		t.Fatalf("err=%v folded=%q, want ErrFenced with no durable fold", err, st.Folded)
+	}
+	for _, o := range objects {
+		if data, rerr := l.ReadObject(o, nil); rerr != nil || string(data) != o {
+			t.Fatalf("object %s disturbed by fenced compaction (data=%q err=%v)", o, data, rerr)
+		}
+	}
+}
+
+// gcFailTarget fails every Delete; publishes and reads pass through.
+type gcFailTarget struct{ Target }
+
+func (g gcFailTarget) Delete(string) error { return errors.New("disk trouble") }
+
+// TestCompactChainGCErrorAfterDurableFold: when the fold is durable but
+// GC fails, Folded still names the published image (the chain is served
+// by it) and the undeleted ancestors come back as Pending for retry.
+func TestCompactChainGCErrorAfterDurableFold(t *testing.T) {
+	l := NewLocal("d", costmodel.Default2005(), nil)
+	objects := seedChain(t, l)
+	st, err := CompactChain(gcFailTarget{l}, objects, concatFold, nil)
+	if err == nil {
+		t.Fatal("GC failure not surfaced")
+	}
+	if st.Folded != objects[2] {
+		t.Fatalf("folded = %q, want the durable leaf %s", st.Folded, objects[2])
+	}
+	if len(st.Pending) != 2 {
+		t.Fatalf("pending = %v, want both ancestors", st.Pending)
+	}
+	// The fold really is durable despite the error.
+	if data, rerr := l.ReadObject(objects[2], nil); rerr != nil || !bytes.Contains(data, []byte("+")) {
+		t.Fatalf("leaf after GC failure: data=%q err=%v", data, rerr)
+	}
+}
+
+// TestCompactChainRejectsDegenerateInput: nothing to fold is an error,
+// not a silent no-op.
+func TestCompactChainRejectsDegenerateInput(t *testing.T) {
+	l := NewLocal("d", costmodel.Default2005(), nil)
+	if _, err := CompactChain(l, []string{"only"}, concatFold, nil); err == nil {
+		t.Fatal("single-object compaction accepted")
+	}
+	if _, err := CompactChain(l, nil, concatFold, nil); err == nil {
+		t.Fatal("empty compaction accepted")
+	}
+	if _, err := CompactChain(nil, []string{"a", "b"}, concatFold, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if _, err := CompactChain(l, []string{"a", "b"}, nil, nil); err == nil {
+		t.Fatal("nil fold accepted")
+	}
+}

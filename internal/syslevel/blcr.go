@@ -112,7 +112,8 @@ func (m *BLCR) Request(k *kernel.Kernel, p *proc.Process, tgt storage.Target, en
 // callback handler from the reloaded library.
 func (m *BLCR) Restart(k *kernel.Kernel, chain []*checkpoint.Image, enqueue bool) (*proc.Process, error) {
 	return checkpoint.Restore(k, chain, checkpoint.RestoreOptions{
-		Enqueue: enqueue,
+		Enqueue:     enqueue,
+		Parallelism: m.restorePar,
 		Handlers: map[string]*sig.Handler{
 			blcrHandlerName: {Name: blcrHandlerName, Fn: func(ctx any, s sig.Signal) {}},
 		},

@@ -39,6 +39,10 @@ type threadMech struct {
 	// sequential), set through mechanism.CaptureParallelizer.
 	capturePar int
 
+	// restorePar is the sharded-replay worker-pool width for Restart (0
+	// or 1 = sequential), set through mechanism.RestoreParallelizer.
+	restorePar int
+
 	// optsFor customizes the capture per concrete mechanism.
 	optsFor func() captureOpts
 }
@@ -122,6 +126,11 @@ func (m *threadMech) request(mech mechanism.Mechanism, k *kernel.Kernel, p *proc
 // whole kernel-thread family: the checkpoint thread forks that many
 // workers for the payload read and image encode of every later capture.
 func (m *threadMech) SetCaptureParallelism(workers int) { m.capturePar = workers }
+
+// SetRestoreParallelism implements mechanism.RestoreParallelizer for the
+// whole kernel-thread family: later Restarts shard chain replay across
+// that many workers.
+func (m *threadMech) SetRestoreParallelism(workers int) { m.restorePar = workers }
 
 // requestDelta is request with the chain knobs an orchestration layer
 // needs for incremental shipping: the caller's tracker supplies the
@@ -235,7 +244,7 @@ func (m *CRAK) RequestDelta(k *kernel.Kernel, p *proc.Process, tgt storage.Targe
 
 // Restart implements mechanism.Mechanism.
 func (m *CRAK) Restart(k *kernel.Kernel, chain []*checkpoint.Image, enqueue bool) (*proc.Process, error) {
-	return checkpoint.Restore(k, chain, checkpoint.RestoreOptions{Enqueue: enqueue})
+	return checkpoint.Restore(k, chain, checkpoint.RestoreOptions{Enqueue: enqueue, Parallelism: m.restorePar})
 }
 
 // UCLiK models Foster's UCLiK [13]: it "inherits much of the framework of
@@ -302,6 +311,7 @@ func (m *UCLiK) Restart(k *kernel.Kernel, chain []*checkpoint.Image, enqueue boo
 		Enqueue:             enqueue,
 		PreservePID:         true,
 		RestoreDeletedFiles: true,
+		Parallelism:         m.restorePar,
 	})
 }
 
@@ -421,6 +431,7 @@ func (m *ZAP) Restart(k *kernel.Kernel, chain []*checkpoint.Image, enqueue bool)
 		Enqueue:             enqueue,
 		VirtualizePID:       true,
 		RecreateKernelState: true,
+		Parallelism:         m.restorePar,
 	})
 }
 
@@ -500,5 +511,5 @@ func (m *PsncRC) Request(k *kernel.Kernel, p *proc.Process, tgt storage.Target, 
 
 // Restart implements mechanism.Mechanism.
 func (m *PsncRC) Restart(k *kernel.Kernel, chain []*checkpoint.Image, enqueue bool) (*proc.Process, error) {
-	return checkpoint.Restore(k, chain, checkpoint.RestoreOptions{Enqueue: enqueue})
+	return checkpoint.Restore(k, chain, checkpoint.RestoreOptions{Enqueue: enqueue, Parallelism: m.restorePar})
 }
