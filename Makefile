@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-ckpt bench-parallel bench-restore check vet race fuzz chaos chaos-incremental
+.PHONY: all build test bench bench-ckpt bench-parallel bench-restore bench-replication check vet race fuzz chaos chaos-incremental chaos-replication
 
 all: build test
 
@@ -38,6 +38,14 @@ bench-parallel:
 bench-restore:
 	$(GO) run ./cmd/crbench -bench6 BENCH_6.json
 
+# Replication bench (experiment E17): publish overhead of buddy mirrors
+# and 2+1 erasure sharding vs the unreplicated server write, restore
+# latency from the nearest surviving replica with the owner's disk lost,
+# and failover-measured restore p50 per placement mode. Exits nonzero if
+# the degraded-restore p50 exceeds 2x the BENCH_6-style baseline.
+bench-replication:
+	$(GO) run ./cmd/crbench -bench7 BENCH_7.json
+
 vet:
 	$(GO) vet ./...
 
@@ -50,6 +58,7 @@ race:
 fuzz:
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzImageDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzImageRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/storage/erasure -run '^$$' -fuzz '^FuzzErasureRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # The nightly chaos sweep (10k seeds); failing seeds print shrunken
 # chaos.Replay reproducer lines and fail the target.
@@ -63,4 +72,13 @@ chaos:
 chaos-incremental:
 	$(GO) run ./cmd/crsurvey chaos -seeds 2000 -incremental
 
-check: build vet race fuzz
+# Replicated-placement sweep: buddy mirrors forced on every seed, 2+1
+# erasure on the wide-enough ones, including the node+replica
+# double-failure schedules the generator draws. The repl-durability
+# checker masks one more holder than the run actually lost, and
+# repl-converged demands re-replication finished by the cut. Part of
+# `make check` (80 seeds here; the nightly run goes wider).
+chaos-replication:
+	$(GO) run ./cmd/crsurvey chaos -seeds 80 -replication
+
+check: build vet race fuzz chaos-replication

@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E16 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E17 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -18,6 +18,11 @@
 //	                   # write the E16 restore bench (chain depth × replay
 //	                   # width sweep, compacted chain, failover-measured
 //	                   # restore latency) as JSON
+//	crbench -bench7 BENCH_7.json
+//	                   # write the E17 replication bench (publish overhead
+//	                   # per placement mode, degraded-restore latency with
+//	                   # the owner's disk lost, failover-measured restore
+//	                   # p50 under buddy and erasure placement) as JSON
 package main
 
 import (
@@ -38,7 +43,39 @@ func main() {
 	benchCkpt := flag.String("benchckpt", "", "write the E14 incremental-shipping bench to this JSON file and exit")
 	bench5 := flag.String("bench5", "", "write the E15 parallel-capture bench to this JSON file and exit")
 	bench6 := flag.String("bench6", "", "write the E16 restore bench to this JSON file and exit")
+	bench7 := flag.String("bench7", "", "write the E17 replication bench to this JSON file and exit")
 	flag.Parse()
+
+	if *bench7 != "" {
+		s := experiments.E17Bench(*quick)
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*bench7, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		for i, w := range s.Write {
+			r := s.Restore[i]
+			fmt.Printf("%-7s publish %.2f ms (%.2fx), stored %.2fx, restore healthy %.2f ms degraded %.2f ms\n",
+				w.Mode, w.PublishMs, w.Overhead, w.Redundancy, r.HealthyMs, r.DegradedMs)
+		}
+		for _, c := range s.Clusters {
+			fmt.Printf("cluster %-7s restore p50 %.2f ms p99 %.2f ms over %d failover(s); reads l/b/s/rc/r = %d/%d/%d/%d/%d\n",
+				c.Mode, c.P50Ms, c.P99Ms, c.Restores,
+				c.ReadLocal, c.ReadBuddy, c.ReadShards, c.ReadReconstruct, c.ReadRemote)
+		}
+		fmt.Printf("degraded restore within 2x of the BENCH_6-style baseline (%.2f ms): %v\n",
+			s.BaselineP50Ms, s.DegradedWithin2x)
+		fmt.Println("wrote", *bench7)
+		if !s.DegradedWithin2x {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench6 != "" {
 		s := experiments.E16Bench(*quick)
@@ -114,8 +151,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 16 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..16)\n", part)
+			if err != nil || n < 1 || n > 17 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..17)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -160,6 +197,7 @@ func main() {
 		{14, func() *trace.Table { return experiments.E14Incremental(*quick) }},
 		{15, func() *trace.Table { return experiments.E15Parallel(*quick) }},
 		{16, func() *trace.Table { return experiments.E16Restore(*quick) }},
+		{17, func() *trace.Table { return experiments.E17Replication(*quick) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

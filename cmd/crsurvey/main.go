@@ -18,6 +18,9 @@
 //	crsurvey chaos -start 5000 -seeds 10 # sweep a different block
 //	crsurvey chaos -broken -seeds 100    # fencing disabled: prove the harness catches it
 //	crsurvey chaos -incremental -seeds 1000 # delta chains forced on: chain-invariant sweep
+//	crsurvey chaos -replication -seeds 200  # replicated placement forced on: buddy
+//	                                        # mirrors everywhere, 2+1 erasure where the
+//	                                        # cluster is wide enough (repl invariants)
 //	crsurvey chaos -replay 42            # re-run one seed, print its event log
 //	crsurvey chaos -replay 42 -spec '{...}' -shrink
 package main
@@ -93,6 +96,7 @@ func chaosMain(args []string) {
 	start := fs.Int64("start", 1, "first seed of the sweep")
 	broken := fs.Bool("broken", false, "disable epoch fencing (the deliberately broken build)")
 	incremental := fs.Bool("incremental", false, "force delta-chain shipping on every spec (chain-invariant sweep)")
+	replication := fs.Bool("replication", false, "force replicated placement on every spec (replication-invariant sweep)")
 	replay := fs.Int64("replay", 0, "replay one seed instead of sweeping")
 	spec := fs.String("spec", "", "replay this spec JSON (from a printed replay line) instead of regenerating from the seed")
 	shrink := fs.Bool("shrink", false, "shrink a violating replay to a minimal reproducer")
@@ -102,12 +106,25 @@ func chaosMain(args []string) {
 	// a sweep exercises the chain invariants on all seeds, not just the
 	// roughly half the generator picks.
 	force := func(sp *chaos.Spec) {
-		if !*incremental {
-			return
+		if *incremental {
+			sp.Incremental = true
+			if sp.RebaseEvery == 0 {
+				sp.RebaseEvery = 4
+			}
 		}
-		sp.Incremental = true
-		if sp.RebaseEvery == 0 {
-			sp.RebaseEvery = 4
+		// -replication forces a replicated placement onto every spec:
+		// erasure 2+1 where the cluster can hold it under the generator's
+		// own maskability constraint (see chaos.Generate), buddy mirrors
+		// everywhere else — so a sweep exercises the repl-durability and
+		// repl-converged invariants on all seeds, both modes.
+		if *replication && sp.Replication == "" {
+			if sp.Workers() >= 4 && len(sp.Failures) <= 1 && sp.Seed%2 == 0 {
+				sp.Replication = "erasure"
+				sp.DataShards, sp.ParityShards = 2, 1
+			} else {
+				sp.Replication = "buddy"
+				sp.DataShards, sp.ParityShards = 0, 0
+			}
 		}
 	}
 

@@ -138,5 +138,21 @@ func Generate(seed int64) *Spec {
 	if sp.Incremental && rng.Float64() < 0.5 {
 		sp.CompactAfter = 2 + rng.Intn(3) // 2..4
 	}
+
+	// Replicated checkpoint placement on about a third of the seeds:
+	// buddy mirroring at any width, 2+1 erasure only where four workers
+	// leave a spare for re-replication after a permanent loss and the
+	// schedule has at most one node failure (a second holder dead at the
+	// audit cut would exceed what 2+1 can mask — hostile, not checkable).
+	// Drawn last, after CompactAfter, so replay lines predating
+	// replication reproduce unchanged.
+	if rng.Float64() < 1.0/3 {
+		if workers >= 4 && len(sp.Failures) <= 1 && rng.Float64() < 0.5 {
+			sp.Replication = "erasure"
+			sp.DataShards, sp.ParityShards = 2, 1
+		} else {
+			sp.Replication = "buddy"
+		}
+	}
 	return sp
 }

@@ -59,6 +59,8 @@ func DefaultCheckers() []Checker {
 		&digestChecker{},
 		&oracleChecker{},
 		&livenessChecker{},
+		&replDurabilityChecker{},
+		replConvergedChecker{},
 	}
 }
 
@@ -143,9 +145,25 @@ func (c *ackedDurabilityChecker) Finish(a *Audit) []Violation {
 	if lost := a.C.Counters.Get("ckpt.lost"); lost > 0 {
 		out = append(out, Violation{c.Name(), fmt.Sprintf("%d committed image(s) vanished", lost)})
 	}
+	// On replicated seeds, per-object durability narrows to the live
+	// chain: a superseded incarnation's replicas legally die with their
+	// nodes once the recovery pointer has moved past them — unretired
+	// only because the run was cut before GC caught up. The live chain
+	// (which restore actually needs) keeps the full obligation, walked
+	// below and by the chain-restorable and repl-durability checkers.
+	var live map[string]bool
+	if a.Spec.Replication != "" {
+		live = make(map[string]bool)
+		for _, o := range a.Sup.ChainObjects() {
+			live[o] = true
+		}
+	}
 	for _, name := range c.acked {
 		if c.retired[name] {
 			continue // legally garbage-collected after a rebase
+		}
+		if live != nil && !live[name] {
+			continue
 		}
 		data, err := a.ReadObject(name)
 		if err != nil {

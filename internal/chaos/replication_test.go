@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/simos/kernel"
+	"repro/internal/storage"
+	"repro/internal/storage/erasure"
+)
+
+// TestReplicationGeneratedMix pins that the generator actually draws
+// both placement modes across the tier-1 sweep width — the sweep is the
+// replication acceptance gate only if replicated seeds exist in it.
+func TestReplicationGeneratedMix(t *testing.T) {
+	buddy, ec := 0, 0
+	for seed := int64(1); seed <= sweepSeeds; seed++ {
+		switch Generate(seed).Replication {
+		case "buddy":
+			buddy++
+		case "erasure":
+			ec++
+		}
+	}
+	if buddy == 0 || ec == 0 {
+		t.Fatalf("generator drew buddy=%d erasure=%d replicated seeds in [1,%d]", buddy, ec, sweepSeeds)
+	}
+	t.Logf("replicated seeds: buddy=%d erasure=%d of %d", buddy, ec, sweepSeeds)
+}
+
+// TestReplicationForcedBuddySweep forces buddy mirroring onto every
+// generated scenario (whatever its fault schedule) and demands the full
+// invariant catalog stay silent — including the repl-durability masks
+// and the repl-converged end-state audit.
+func TestReplicationForcedBuddySweep(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		sp := Generate(seed)
+		sp.Replication, sp.DataShards, sp.ParityShards = "buddy", 0, 0
+		if r := Run(sp); len(r.Violations) > 0 {
+			t.Errorf("seed %d: %s", seed, r.Summary())
+			for _, v := range r.Violations {
+				t.Errorf("  %s", v)
+			}
+			t.Errorf("  reproduce: %s", r.Spec.ReplayLine())
+		}
+	}
+}
+
+// TestReplicationForcedErasureSweep forces 2+1 erasure coding onto every
+// generated scenario wide enough to hold it, under the same constraint
+// the generator applies (at most one node failure — a second holder dead
+// at the audit cut exceeds what 2+1 can mask).
+func TestReplicationForcedErasureSweep(t *testing.T) {
+	ran := 0
+	for seed := int64(1); seed <= 120; seed++ {
+		sp := Generate(seed)
+		if sp.workers() < 4 || len(sp.Failures) > 1 {
+			continue
+		}
+		sp.Replication, sp.DataShards, sp.ParityShards = "erasure", 2, 1
+		ran++
+		if r := Run(sp); len(r.Violations) > 0 {
+			t.Errorf("seed %d: %s", seed, r.Summary())
+			for _, v := range r.Violations {
+				t.Errorf("  %s", v)
+			}
+			t.Errorf("  reproduce: %s", r.Spec.ReplayLine())
+		}
+	}
+	if ran < 10 {
+		t.Fatalf("only %d seeds in [1,120] were erasure-eligible", ran)
+	}
+	t.Logf("erasure sweep covered %d seeds", ran)
+}
+
+// TestReplicationRunDeterministic double-runs replicated scenarios of
+// both modes and requires equal digests: the fan-out writes, repair
+// sweeps, and audit reads must all be schedule-stable.
+func TestReplicationRunDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		sp := Generate(seed)
+		sp.Replication = "buddy"
+		if ok, a, b := Confirm(sp); !ok {
+			t.Fatalf("buddy seed %d nondeterministic: %#x vs %#x", seed, a.Digest, b.Digest)
+		}
+		if sp = Generate(seed); sp.workers() >= 4 && len(sp.Failures) <= 1 {
+			sp.Replication, sp.DataShards, sp.ParityShards = "erasure", 2, 1
+			if ok, a, b := Confirm(sp); !ok {
+				t.Fatalf("erasure seed %d nondeterministic: %#x vs %#x", seed, a.Digest, b.Digest)
+			}
+		}
+	}
+}
+
+// TestReplicationSpecValidation rejects the replication knobs the
+// executor cannot run.
+func TestReplicationSpecValidation(t *testing.T) {
+	base := Generate(1)
+	for name, mutate := range map[string]func(*Spec){
+		"unknown-mode":          func(s *Spec) { s.Replication = "raid6" },
+		"geometry-without-mode": func(s *Spec) { s.DataShards = 2 },
+		"geometry-with-buddy":   func(s *Spec) { s.Replication = "buddy"; s.ParityShards = 1 },
+		"erasure-too-wide":      func(s *Spec) { s.Replication = "erasure"; s.DataShards = 5; s.ParityShards = 2 },
+	} {
+		sp := base.Clone()
+		mutate(sp)
+		if sp.validate() == nil {
+			t.Errorf("%s: validate accepted a bad spec", name)
+		}
+	}
+	ok := base.Clone()
+	ok.Replication = "buddy"
+	if err := ok.validate(); err != nil {
+		t.Errorf("buddy spec rejected: %v", err)
+	}
+}
+
+// auditCluster builds a bare cluster (no supervisor) whose disks the
+// auditReader tests populate by hand.
+func auditCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	return cluster.New(cluster.Config{Nodes: nodes, Seed: 1, KernelCfg: kernel.DefaultConfig("")},
+		costmodel.Default2005(), kernel.NewRegistry())
+}
+
+// TestAuditReaderMirrorUnionAndMask: the union reader finds a copy on
+// whichever disk holds it, falls back to the server, and a masked slot
+// becomes invisible — the mechanics every repl-durability verdict rests
+// on.
+func TestAuditReaderMirrorUnionAndMask(t *testing.T) {
+	c := auditCluster(t, 3)
+	payload := []byte("only on node 1")
+	if err := storage.Write(c.Node(1).Disk, "obj", payload, storage.WriteOptions{Atomic: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := newAuditReader(c, false, nil).ReadObject("obj", nil); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("union read: %v %q", err, got)
+	}
+	if _, err := newAuditReader(c, false, map[int]bool{1: true}).ReadObject("obj", nil); err == nil {
+		t.Fatal("masked slot still visible")
+	}
+	// Server fallback: an object only the server holds.
+	srvOnly := []byte("server copy")
+	if err := storage.Write(storage.NewRemote("t", c.Server), "srv-obj", srvOnly, storage.WriteOptions{Atomic: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := newAuditReader(c, false, nil).ReadObject("srv-obj", nil); err != nil || !bytes.Equal(got, srvOnly) {
+		t.Fatalf("server fallback: %v", err)
+	}
+	if _, err := newAuditReader(c, false, map[int]bool{auditServer: true}).ReadObject("srv-obj", nil); err == nil {
+		t.Fatal("masked server still visible")
+	}
+}
+
+// TestAuditReaderErasureDecode: shards scattered across disks decode
+// through the union; losing any single holder still decodes (k of k+m
+// survive); losing two does not.
+func TestAuditReaderErasureDecode(t *testing.T) {
+	c := auditCluster(t, 4)
+	payload := bytes.Repeat([]byte("erasure coded checkpoint "), 100)
+	shards, err := erasure.EncodeObject(payload, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shards {
+		if err := storage.Write(c.Node(i).Disk, "obj", sh, storage.WriteOptions{Atomic: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := newAuditReader(c, true, nil).ReadObject("obj", nil); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("full decode: %v", err)
+	}
+	if got, err := newAuditReader(c, true, map[int]bool{0: true}).ReadObject("obj", nil); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("decode missing one shard: %v", err)
+	}
+	if _, err := newAuditReader(c, true, map[int]bool{0: true, 2: true}).ReadObject("obj", nil); err == nil {
+		t.Fatal("decoded with only k-1 shards")
+	}
+}

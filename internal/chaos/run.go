@@ -110,6 +110,7 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 		ControlNode:  sp.observer(),
 		NoFencing:    sp.NoFencing,
 		Pipeline:     sp.pipelineConfig(),
+		Replication:  sp.replicationConfig(),
 	})
 	if err != nil {
 		// A generated scenario that the supervisor itself rejects is a
@@ -140,13 +141,21 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 	// End-of-run audit. The checkpoint server's auto-heal only ticks
 	// with the cluster clock; close any outage left dangling at the cut
 	// so durability reads measure what was committed, not the outage.
+	// On replicated seeds the server alone is the wrong witness — an
+	// acked image may legally live only on node-local disks (always, in
+	// erasure mode) — so durability reads go through a reader spanning
+	// every disk in the cluster plus the server.
 	c.Server.Recover()
+	auditTgt := storage.Target(storage.NewRemote("chaos-audit", c.Server))
+	if sp.Replication != "" {
+		auditTgt = newAuditReader(c, sp.Replication == "erasure", nil)
+	}
 	audit := &Audit{
 		Spec: sp, Sup: sup, C: c, Want: want,
 		ReadObject: func(name string) ([]byte, error) {
-			return storage.NewRemote("chaos-audit", c.Server).ReadObject(name, nil)
+			return auditTgt.ReadObject(name, nil)
 		},
-		Target:  storage.NewRemote("chaos-audit", c.Server),
+		Target:  auditTgt,
 		Aborted: runErr,
 	}
 	res := &Result{

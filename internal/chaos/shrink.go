@@ -62,6 +62,11 @@ func candidates(sp *Spec) []*Spec {
 		c.Loss, c.Dup, c.Jitter = 0, 0, 0
 		out = append(out, c)
 	}
+	if sp.Replication != "" {
+		c := sp.Clone()
+		c.Replication, c.DataShards, c.ParityShards = "", 0, 0
+		out = append(out, c)
+	}
 	if sp.Iterations > 10 {
 		c := sp.Clone()
 		c.Iterations /= 2

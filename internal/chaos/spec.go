@@ -113,6 +113,19 @@ type Spec struct {
 	// Zero disables, and is the default for replay lines predating
 	// compaction.
 	CompactAfter int `json:"compact,omitempty"`
+
+	// Replication selects checkpoint replica placement: "buddy" mirrors
+	// every image to the owner's disk, a buddy node's disk, and the
+	// server; "erasure" cuts it into DataShards+ParityShards shards
+	// across node-local disks (the server holds nothing). Empty keeps
+	// the server-only path, and is the default for replay lines
+	// predating replication. The repl-durability and repl-converged
+	// checkers activate only on replicated seeds.
+	Replication string `json:"repl,omitempty"`
+	// DataShards/ParityShards is the erasure geometry ("erasure" seeds
+	// only; zero uses the cluster defaults of 2+1).
+	DataShards   int `json:"rs_k,omitempty"`
+	ParityShards int `json:"rs_m,omitempty"`
 }
 
 // pipelineConfig translates the Pipeline knob into the supervisor's
@@ -124,11 +137,29 @@ func (sp *Spec) pipelineConfig() *cluster.PipelineConfig {
 	return &cluster.PipelineConfig{CaptureWorkers: sp.Pipeline}
 }
 
+// replicationConfig translates the Replication knobs into the
+// supervisor's placement policy (nil = server-only shipping).
+func (sp *Spec) replicationConfig() *cluster.ReplicationConfig {
+	switch sp.Replication {
+	case "buddy":
+		return &cluster.ReplicationConfig{Mode: cluster.ReplBuddy}
+	case "erasure":
+		return &cluster.ReplicationConfig{
+			Mode: cluster.ReplErasure, DataShards: sp.DataShards, ParityShards: sp.ParityShards,
+		}
+	}
+	return nil
+}
+
 // observer returns the control-plane node index.
 func (sp *Spec) observer() int { return sp.Nodes - 1 }
 
 // workers returns the worker count (every node but the observer).
 func (sp *Spec) workers() int { return sp.Nodes - 1 }
+
+// Workers exposes the worker count to external sweep drivers (crsurvey
+// forcing replication needs it to judge erasure eligibility).
+func (sp *Spec) Workers() int { return sp.workers() }
 
 // Size is the shrinker's cost metric: fewer faults, fewer nodes, a
 // shorter workload, and a tighter schedule all count as smaller.
@@ -139,6 +170,9 @@ func (sp *Spec) Size() int {
 		n++
 	}
 	if sp.Storage != (StorageSpec{}) {
+		n++
+	}
+	if sp.Replication != "" {
 		n++
 	}
 	return n
@@ -206,6 +240,26 @@ func (sp *Spec) validate() error {
 			if n < 0 || n >= sp.workers() {
 				return fmt.Errorf("chaos: partition side includes node %d outside workers [0,%d)", n, sp.workers())
 			}
+		}
+	}
+	switch sp.Replication {
+	case "", "buddy", "erasure":
+	default:
+		return fmt.Errorf("chaos: unknown replication mode %q", sp.Replication)
+	}
+	if sp.Replication != "erasure" && (sp.DataShards != 0 || sp.ParityShards != 0) {
+		return fmt.Errorf("chaos: shard geometry %d+%d needs replication mode %q", sp.DataShards, sp.ParityShards, "erasure")
+	}
+	if sp.Replication == "erasure" {
+		k, m := sp.DataShards, sp.ParityShards
+		if k == 0 {
+			k = 2
+		}
+		if m == 0 {
+			m = 1
+		}
+		if k+m > sp.workers() {
+			return fmt.Errorf("chaos: erasure geometry %d+%d needs %d workers, have %d", k, m, k+m, sp.workers())
 		}
 	}
 	return nil

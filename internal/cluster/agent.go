@@ -79,6 +79,7 @@ func (s *Supervisor) pumpAgents() {
 		s.agents[i] = nil // release for GC
 	}
 	s.agents = live
+	s.maybeRepair()
 }
 
 // stop retires the agent and releases its tracker (restoring the
@@ -158,10 +159,7 @@ func (a *ckptAgent) pump() {
 		a.pipelineRound(m, n, p)
 		return
 	}
-	tgt := storage.Target(n.Remote())
-	if !a.s.NoFencing {
-		tgt = storage.FencedAt(tgt, a.s.Fence, a.epoch)
-	}
+	tgt := a.s.shipTarget(a)
 	tk, err := a.capture(m, n, p, tgt)
 	if err != nil {
 		if errors.Is(err, storage.ErrFenced) {
@@ -196,6 +194,22 @@ func (a *ckptAgent) pump() {
 func (a *ckptAgent) capture(m mechanism.Mechanism, n *Node, p *proc.Process, tgt storage.Target) (*mechanism.Ticket, error) {
 	dr, ok := m.(mechanism.DeltaRequester)
 	if !a.s.Incremental || !ok {
+		if ok && a.s.Replication != nil {
+			// Replicated full-image mode still needs epoch-qualified
+			// names: the server path just renamed a re-incarnated seq over
+			// its predecessor, but replicas of the superseded write linger
+			// on old placement disks, and an erasure read that mixes
+			// shards of two same-named encodings is undecodable. A nil
+			// tracker with rebase on is exactly a standalone full image.
+			t, err := dr.RequestDelta(n.K, p, tgt, nil, nil, a.epoch, true)
+			if err != nil {
+				return nil, err
+			}
+			if err := mechanism.WaitTicket(n.K, t, 5*simtime.Minute); err != nil {
+				return t, err
+			}
+			return t, nil
+		}
 		return mechanism.Checkpoint(m, n.K, p, tgt, nil)
 	}
 	// The incarnation's first successful checkpoint is always a rebase:
@@ -266,9 +280,14 @@ func (s *Supervisor) noteAckObject(a *ckptAgent, obj string, full bool,
 		retire = append(s.pendingRetire, s.chainObjs...)
 		s.pendingRetire = nil
 		s.chainObjs = nil
+		s.chainSizes = nil
 		s.lastFull = obj
 	}
 	s.chainObjs = append(s.chainObjs, obj)
+	if s.chainSizes == nil {
+		s.chainSizes = make(map[string]int)
+	}
+	s.chainSizes[obj] = encodedBytes
 	s.lastLeaf = obj
 	s.emit(EvAck, a.node, a.epoch, obj)
 	if s.Incremental && len(retire) > 0 {

@@ -46,6 +46,7 @@ func (s *Supervisor) maybeCompact(a *ckptAgent, tgt storage.Target) {
 	s.Counters.Inc("compact.bytes_written", int64(st.BytesOut))
 	s.emit(EvCompact, a.node, a.epoch, st.Folded)
 	s.chainObjs = []string{st.Folded}
+	s.chainSizes = map[string]int{st.Folded: st.BytesOut}
 	s.lastFull = st.Folded
 	for _, o := range st.Deleted {
 		s.Counters.Inc("ckpt.retired", 1)

@@ -52,6 +52,13 @@ const (
 	// image published under Object (the chain's own leaf name); the
 	// folded ancestors are retired afterwards, each with its own EvRetire.
 	EvCompact EventKind = "compact"
+	// EvRebuddy: the replication policy reassigned a placement slot away
+	// from a suspected node; Node is the slot's new holder and Object
+	// records "slot=<i> from=<old>".
+	EvRebuddy EventKind = "rebuddy"
+	// EvRepair: a background re-replication sweep restored missing
+	// replicas; Object records how many replica copies were rewritten.
+	EvRepair EventKind = "repair"
 )
 
 // Event is one entry of the supervisor's orchestration log.

@@ -318,6 +318,10 @@ type Supervisor struct {
 	// overlapping capture of epoch N+1 with the transfer of epoch N (see
 	// pipeline.go). Autonomic mode only.
 	Pipeline *PipelineConfig
+	// Replication, when non-nil, fans every checkpoint out to a placement
+	// set (buddy mirrors or erasure shards — see replication.go) and
+	// restores from the nearest surviving replica. Autonomic mode only.
+	Replication *ReplicationConfig
 	// CompactAfter, when positive with Incremental, bounds the live chain
 	// on the server: whenever an ack leaves more than CompactAfter deltas
 	// behind the full head, the supervisor folds the chain into a fresh
@@ -351,6 +355,7 @@ type Supervisor struct {
 	lastLocal   bool // last good image is on lastNode's local disk
 	lastCkptDur simtime.Duration
 	agents      []*ckptAgent
+	repl        *replState // live replica placement (replication.go)
 
 	// Chain bookkeeping (incremental shipping). lastFull is the newest
 	// acked full image — the fallback anchor when the chain under
@@ -361,6 +366,13 @@ type Supervisor struct {
 	lastFull      string
 	chainObjs     []string
 	pendingRetire []string
+
+	// chainSizes maps each live-chain object to its authoritative encoded
+	// length (EncodedBytes at ack, BytesOut at fold). The repair sweep
+	// uses it to tell a stale replica copy — right name, wrong version,
+	// the residue of a quorum publish that missed a member — from a
+	// healthy one: presence probes alone cannot see that divergence.
+	chainSizes map[string]int
 
 	// Results
 	Completed   bool
@@ -826,6 +838,10 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 			s.Completed = true
 			s.Fingerprint = st.Fingerprint
 			s.Makespan = s.C.Now().Sub(start)
+			// The final checkpoints may have acked between repair sweeps:
+			// flush redundancy so the chain the run leaves behind is fully
+			// replicated, not merely quorum-replicated.
+			s.flushRepair()
 			s.emit(EvComplete, s.node, s.Fence.Epoch(), fmt.Sprintf("%#x", s.Fingerprint))
 			return nil
 		}
@@ -849,11 +865,15 @@ func (s *Supervisor) recoverFenced() error {
 	// deletion happens only after that ack, never here.
 	s.pendingRetire = append(s.pendingRetire, s.chainObjs...)
 	s.chainObjs = nil
-	spare := s.Detector.PickHealthy(s.node)
+	s.chainSizes = nil
+	spare := s.pickRestoreNode(s.node)
 	if spare < 0 {
 		return errors.New("cluster: no unsuspected spare node")
 	}
-	chain, readWait := s.loadRecoveryChain(s.C.Node(spare).Remote())
+	// recoveryTarget reads through the placement the acked chain was
+	// written under; the new incarnation's first capture re-anchors
+	// placement at the spare afterwards.
+	chain, readWait := s.loadRecoveryChain(s.recoveryTarget(spare))
 	s.Restarts++
 	if chain == nil {
 		s.FromScratch++

@@ -227,10 +227,7 @@ func (a *ckptAgent) advanceShip(n *Node) {
 // queue must stop draining (fence suicide or a dropped chain).
 func (a *ckptAgent) publishUnit(n *Node, u *shipUnit) bool {
 	s := a.s
-	tgt := storage.Target(n.Remote())
-	if !s.NoFencing {
-		tgt = storage.FencedAt(tgt, s.Fence, a.epoch)
-	}
+	tgt := s.shipTarget(a)
 	var published int
 	var err error
 	if len(u.imgs) == 1 {
@@ -268,7 +265,10 @@ func (a *ckptAgent) publishUnit(n *Node, u *shipUnit) bool {
 	}
 	if errors.Is(err, storage.ErrFenced) {
 		// Another incarnation owns the job: self-fence, exactly as a
-		// synchronous publish would. stop() drops whatever was queued.
+		// synchronous publish would. stop() drops whatever was queued —
+		// trim the already-acked prefix out of this unit first, or those
+		// images would be counted both shipped and dropped.
+		u.imgs = u.imgs[published:]
 		p, lerr := n.K.Procs.Lookup(a.pid)
 		if lerr != nil {
 			p = nil

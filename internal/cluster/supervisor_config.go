@@ -73,6 +73,12 @@ type SupervisorConfig struct {
 	// of epoch N in the node-local agents. Autonomic mode only.
 	Pipeline *PipelineConfig
 
+	// Replication, when non-nil, fans every checkpoint out to a replica
+	// placement set (buddy mirrors or erasure shards, see
+	// ReplicationConfig) instead of the server alone, and restores from
+	// the nearest surviving replica. Autonomic mode only.
+	Replication *ReplicationConfig
+
 	// OnEvent receives each orchestration event as it is emitted.
 	OnEvent func(Event)
 }
@@ -120,6 +126,15 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 			return nil, errors.New("cluster: NewSupervisor: Pipeline requires a Detector (autonomic mode)")
 		}
 	}
+	if cfg.Replication != nil {
+		if cfg.Detector == nil {
+			return nil, errors.New("cluster: NewSupervisor: Replication requires a Detector (autonomic mode)")
+		}
+		// Every node except the control node can hold job state.
+		if err := cfg.Replication.validate(cfg.C.NumNodes() - 1); err != nil {
+			return nil, err
+		}
+	}
 
 	s := &Supervisor{
 		C:              cfg.C,
@@ -145,6 +160,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		NoFencing:      cfg.NoFencing,
 		ControlNode:    cfg.ControlNode,
 		Pipeline:       cfg.Pipeline,
+		Replication:    cfg.Replication,
 		OnEvent:        cfg.OnEvent,
 	}
 	// Defaults, applied eagerly so a constructed Supervisor is fully

@@ -26,7 +26,7 @@ func (l *Local) ReadBatch(objects []string, env *Env) ([][]byte, error) {
 	}
 	out := make([][]byte, len(objects))
 	for i, name := range objects {
-		data, ok := l.store.objects[name]
+		data, ok := l.store.get(name)
 		if !ok {
 			return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, l.name, name)
 		}
@@ -34,7 +34,7 @@ func (l *Local) ReadBatch(objects []string, env *Env) ([][]byte, error) {
 			env.Wait(l.cm.DiskSeek, "disk-seek")
 		}
 		env.Wait(l.cm.DiskStream(len(data)), "disk-read")
-		out[i] = append([]byte(nil), data...)
+		out[i] = data
 	}
 	return out, nil
 }
@@ -48,7 +48,7 @@ func (r *Remote) ReadBatch(objects []string, env *Env) ([][]byte, error) {
 	}
 	out := make([][]byte, len(objects))
 	for i, name := range objects {
-		data, ok := r.srv.store.objects[name]
+		data, ok := r.srv.store.get(name)
 		if !ok {
 			return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, r.name, name)
 		}
@@ -62,7 +62,7 @@ func (r *Remote) ReadBatch(objects []string, env *Env) ([][]byte, error) {
 			}
 			env.Wait(r.cm.NetTransfer(n)+r.cm.DiskStream(n), "net-read")
 		}
-		out[i] = append([]byte(nil), data...)
+		out[i] = data
 	}
 	return out, nil
 }

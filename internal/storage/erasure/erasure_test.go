@@ -1,0 +1,260 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestGF256Axioms sanity-checks the field tables: multiplicative
+// inverses and distributivity over a sample of the field.
+func TestGF256Axioms(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := gmul(byte(a), ginv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gmul(a, b^c) != gmul(a, b)^gmul(a, c) {
+			t.Fatalf("distributivity fails at a=%d b=%d c=%d", a, b, c)
+		}
+		if gmul(a, b) != gmul(b, a) {
+			t.Fatalf("commutativity fails at a=%d b=%d", a, b)
+		}
+	}
+}
+
+// TestRoundTripAllErasurePatterns encodes at several geometries and
+// decodes from every subset of exactly k shards — the full strength
+// claim: any n−k losses are survivable, not just the easy ones.
+func TestRoundTripAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, geo := range []struct{ k, m int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 1}} {
+		for _, size := range []int{0, 1, 7, 64, 1000, 4096} {
+			data := make([]byte, size)
+			rng.Read(data)
+			shards, err := EncodeObject(data, geo.k, geo.m)
+			if err != nil {
+				t.Fatalf("encode k=%d m=%d size=%d: %v", geo.k, geo.m, size, err)
+			}
+			n := geo.k + geo.m
+			forEachSubset(n, geo.k, func(keep []int) {
+				subset := make([][]byte, 0, len(keep))
+				for _, idx := range keep {
+					subset = append(subset, shards[idx])
+				}
+				got, err := DecodeObject(subset)
+				if err != nil {
+					t.Fatalf("decode k=%d m=%d size=%d keep=%v: %v", geo.k, geo.m, size, keep, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("round trip mismatch k=%d m=%d size=%d keep=%v", geo.k, geo.m, size, keep)
+				}
+			})
+		}
+	}
+}
+
+// forEachSubset calls fn with every size-k subset of 0..n-1.
+func forEachSubset(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == k {
+			fn(idx)
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[d] = i
+			rec(i+1, d+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestDecodeTooFewShards asserts the typed failure when more than m
+// shards are gone.
+func TestDecodeTooFewShards(t *testing.T) {
+	shards, err := EncodeObject([]byte("checkpoint image bytes"), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeObject(shards[:2]); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient, got %v", err)
+	}
+	if _, err := DecodeObject(nil); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient for empty input, got %v", err)
+	}
+}
+
+// TestCorruptShardTreatedAsMissing flips payload bytes: the CRC must
+// disqualify the shard, and the decode must still succeed off the
+// survivors when enough remain.
+func TestCorruptShardTreatedAsMissing(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAB, 0x5C, 3}, 500)
+	shards, err := EncodeObject(data, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0][headerLen] ^= 0xFF // tear a data shard's payload
+	if _, err := ParseShard(shards[0]); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("corrupt shard parsed: %v", err)
+	}
+	got, err := DecodeObject(shards)
+	if err != nil {
+		t.Fatalf("decode around corrupt shard: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode around corrupt shard returned wrong bytes")
+	}
+	// Corrupt one more: only one valid shard remains, below k=2.
+	shards[1][headerLen] ^= 0xFF
+	if _, err := DecodeObject(shards); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient with two corrupt shards, got %v", err)
+	}
+}
+
+// TestShardHeaderRoundTrip checks ParseShard recovers the geometry.
+func TestShardHeaderRoundTrip(t *testing.T) {
+	shards, err := EncodeObject(make([]byte, 100), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range shards {
+		s, err := ParseShard(b)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if s.Index != i || s.K != 4 || s.M != 2 || s.OrigLen != 100 {
+			t.Fatalf("shard %d header = %+v", i, s)
+		}
+	}
+	if _, err := ParseShard([]byte("not a shard")); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("junk parsed: %v", err)
+	}
+}
+
+// TestReconstructShards loses a shard, rebuilds the full set, and
+// verifies the rebuilt shard is byte-identical to the original — the
+// repair path must produce shards any future decode accepts.
+func TestReconstructShards(t *testing.T) {
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(3)).Read(data)
+	shards, err := EncodeObject(data, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holed := make([][]byte, len(shards))
+	copy(holed, shards)
+	holed[1], holed[4] = nil, nil
+	rebuilt, err := ReconstructShards(holed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(rebuilt[i], shards[i]) {
+			t.Fatalf("rebuilt shard %d differs from original", i)
+		}
+	}
+}
+
+// TestEncodeBadParameters rejects impossible geometries.
+func TestEncodeBadParameters(t *testing.T) {
+	for _, geo := range []struct{ k, m int }{{0, 1}, {1, 0}, {-1, 2}, {2, -1}, {200, 100}} {
+		if _, err := EncodeObject([]byte("x"), geo.k, geo.m); !errors.Is(err, ErrBadParameters) {
+			t.Fatalf("k=%d m=%d accepted: %v", geo.k, geo.m, err)
+		}
+	}
+}
+
+// FuzzErasureRoundTrip is the shard encode/decode fuzz target: for any
+// payload and geometry, dropping any m shards must still decode to the
+// original bytes, and ParseShard must never panic on mutated blobs.
+func FuzzErasureRoundTrip(f *testing.F) {
+	f.Add([]byte("seed checkpoint bytes"), uint8(2), uint8(1), uint16(0))
+	f.Add([]byte{}, uint8(1), uint8(2), uint16(1))
+	f.Add(bytes.Repeat([]byte{7}, 700), uint8(4), uint8(3), uint16(0x5a5a))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, mRaw uint8, dropMask uint16) {
+		k := int(kRaw)%6 + 1
+		m := int(mRaw)%4 + 1
+		shards, err := EncodeObject(data, k, m)
+		if err != nil {
+			t.Fatalf("encode k=%d m=%d: %v", k, m, err)
+		}
+		// Drop up to m shards chosen by the mask bits.
+		dropped := 0
+		subset := make([][]byte, len(shards))
+		copy(subset, shards)
+		for i := 0; i < len(shards) && dropped < m; i++ {
+			if dropMask&(1<<i) != 0 {
+				subset[i] = nil
+				dropped++
+			}
+		}
+		got, err := DecodeObject(subset)
+		if err != nil {
+			t.Fatalf("decode with %d dropped: %v", dropped, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch k=%d m=%d len=%d", k, m, len(data))
+		}
+		// ParseShard must be total on arbitrary mutations.
+		if len(shards[0]) > 0 {
+			mut := append([]byte(nil), shards[0]...)
+			mut[int(dropMask)%len(mut)] ^= 0x40
+			_, _ = ParseShard(mut)
+		}
+	})
+}
+
+// TestDecodeAnyMixedEncodings: a gather holding shards of two different
+// encodings under one name — the residue of a re-encode that missed a
+// replica — defeats the strict decoder but not DecodeAny, which must
+// pick the consistent group that can actually decode. When both groups
+// are decodable, the larger original length wins (re-encodes under one
+// name only ever fold deltas into fuller images).
+func TestDecodeAnyMixedEncodings(t *testing.T) {
+	old := bytes.Repeat([]byte("old delta "), 30)
+	cur := bytes.Repeat([]byte("folded full image "), 50)
+	oldShards, err := EncodeObject(old, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curShards, err := EncodeObject(cur, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One stale shard alongside a full current set: strict decode refuses
+	// the mix when the stale shard arrives first, DecodeAny recovers.
+	mixed := [][]byte{oldShards[2], curShards[0], curShards[1], curShards[2]}
+	if _, err := DecodeObject(mixed); err == nil {
+		t.Fatal("strict decode accepted mixed encodings")
+	}
+	got, err := DecodeAny(mixed)
+	if err != nil || !bytes.Equal(got, cur) {
+		t.Fatalf("DecodeAny on mixed gather: %v", err)
+	}
+
+	// Both groups decodable: the larger origLen wins deterministically.
+	both := [][]byte{oldShards[0], oldShards[1], curShards[0], curShards[1]}
+	got, err = DecodeAny(both)
+	if err != nil || !bytes.Equal(got, cur) {
+		t.Fatalf("DecodeAny did not prefer the larger encoding: %v", err)
+	}
+
+	// Only the stale group reaches k: it still decodes (better a stale
+	// restorable image than none).
+	staleOnly := [][]byte{oldShards[0], oldShards[1], curShards[2]}
+	got, err = DecodeAny(staleOnly)
+	if err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("DecodeAny with only the stale group decodable: %v", err)
+	}
+
+	if _, err := DecodeAny(nil); err == nil {
+		t.Fatal("DecodeAny on empty gather succeeded")
+	}
+}

@@ -1,0 +1,59 @@
+// Package erasure implements a small, pure-Go Reed–Solomon erasure
+// codec over GF(256) for checkpoint shard placement: an object is split
+// into k data shards plus m parity shards such that any k of the k+m
+// shards reconstruct the original bytes. This is the k-of-n alternative
+// to full buddy mirroring — the same single-node-loss tolerance at a
+// fraction of the write amplification (n/k instead of the mirror's
+// replica count), at the price of a matrix solve on degraded reads.
+package erasure
+
+// GF(256) arithmetic under the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d, the classic Reed–Solomon field). Multiplication goes through
+// log/antilog tables built once at init; the antilog table is doubled so
+// gmul never reduces mod 255.
+
+var (
+	expTable [512]byte
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x >= 256 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+func gmul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// ginv returns the multiplicative inverse; a must be nonzero.
+func ginv(a byte) byte {
+	if a == 0 {
+		panic("erasure: inverse of zero in GF(256)")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// gpow returns base^exp in the field.
+func gpow(base byte, exp int) byte {
+	if exp == 0 {
+		return 1
+	}
+	if base == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[base])*exp)%255]
+}

@@ -1,0 +1,381 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Codec errors.
+var (
+	ErrBadShard      = errors.New("erasure: not a valid shard")
+	ErrInsufficient  = errors.New("erasure: fewer than k valid shards")
+	ErrInconsistent  = errors.New("erasure: shards from different encodings")
+	ErrBadParameters = errors.New("erasure: invalid k/m parameters")
+)
+
+// MaxShards bounds k+m: GF(256) Vandermonde rows must be distinct field
+// elements, and shard indices are stored in one byte.
+const MaxShards = 255
+
+// Shard header: magic "RS", format version, shard index, k, m, original
+// object length, and a CRC of the payload so a torn shard is detected
+// and treated as missing rather than silently corrupting the decode.
+const (
+	shardMagic0  = 'R'
+	shardMagic1  = 'S'
+	shardVersion = 1
+	headerLen    = 2 + 1 + 1 + 1 + 1 + 4 + 4
+)
+
+// Shard is one parsed shard: its position in the code, the code
+// geometry, the original object length, and the payload bytes.
+type Shard struct {
+	Index   int
+	K, M    int
+	OrigLen int
+	Payload []byte
+}
+
+// codingMatrix returns the n×k systematic generator matrix: the top k
+// rows are the identity (data shards are plain slices of the object),
+// the bottom m rows are the parity combinations. Built as V·inv(V_top)
+// from an n×k Vandermonde V (rows are powers of distinct field
+// elements), which keeps every k×k submatrix invertible at the shard
+// counts this package is used at.
+func codingMatrix(k, m int) matrix {
+	n := k + m
+	v := newMatrix(n, k)
+	for r := 0; r < n; r++ {
+		for c := 0; c < k; c++ {
+			v[r][c] = gpow(byte(r), c)
+		}
+	}
+	top := newMatrix(k, k)
+	for r := 0; r < k; r++ {
+		copy(top[r], v[r])
+	}
+	inv, err := top.invert()
+	if err != nil {
+		// Cannot happen: the top k rows form a Vandermonde matrix over
+		// distinct elements, which is always invertible.
+		panic("erasure: singular Vandermonde top")
+	}
+	return v.mul(inv)
+}
+
+// EncodeObject splits data into k equal data shards (zero-padded) plus m
+// parity shards. Each returned shard is self-describing (header + CRC),
+// so a reader holding an arbitrary subset can validate and decode.
+func EncodeObject(data []byte, k, m int) ([][]byte, error) {
+	if k < 1 || m < 0 || k+m > MaxShards || k+m < 2 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrBadParameters, k, m)
+	}
+	shardLen := (len(data) + k - 1) / k
+	shards := make([][]byte, k+m)
+	planes := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		p := make([]byte, shardLen)
+		lo := i * shardLen
+		if lo < len(data) {
+			copy(p, data[lo:])
+		}
+		planes[i] = p
+	}
+	mat := codingMatrix(k, m)
+	for r := 0; r < k+m; r++ {
+		var payload []byte
+		if r < k {
+			payload = planes[r]
+		} else {
+			payload = make([]byte, shardLen)
+			for c := 0; c < k; c++ {
+				coef := mat[r][c]
+				if coef == 0 {
+					continue
+				}
+				src := planes[c]
+				for i := range payload {
+					payload[i] ^= gmul(coef, src[i])
+				}
+			}
+		}
+		shards[r] = sealShard(r, k, m, len(data), payload)
+	}
+	return shards, nil
+}
+
+// ShardLen returns the stored blob length of one shard of an origLen-
+// byte object cut k ways — header plus the zero-padded payload plane.
+// Callers use it to judge, from a bare ObjectSize probe, whether a
+// replica's shard belongs to the expected encoding.
+func ShardLen(origLen, k int) int {
+	if k < 1 {
+		return 0
+	}
+	return headerLen + (origLen+k-1)/k
+}
+
+func sealShard(idx, k, m, origLen int, payload []byte) []byte {
+	b := make([]byte, headerLen+len(payload))
+	b[0], b[1], b[2] = shardMagic0, shardMagic1, shardVersion
+	b[3], b[4], b[5] = byte(idx), byte(k), byte(m)
+	binary.BigEndian.PutUint32(b[6:], uint32(origLen))
+	binary.BigEndian.PutUint32(b[10:], crc32.ChecksumIEEE(payload))
+	copy(b[headerLen:], payload)
+	return b
+}
+
+// ParseShard validates a shard blob. A short, mismagicked, or
+// CRC-failing blob returns ErrBadShard — callers treat that shard as
+// missing, which is what makes a torn replica write harmless.
+func ParseShard(b []byte) (Shard, error) {
+	if len(b) < headerLen || b[0] != shardMagic0 || b[1] != shardMagic1 || b[2] != shardVersion {
+		return Shard{}, ErrBadShard
+	}
+	s := Shard{
+		Index:   int(b[3]),
+		K:       int(b[4]),
+		M:       int(b[5]),
+		OrigLen: int(binary.BigEndian.Uint32(b[6:])),
+		Payload: b[headerLen:],
+	}
+	if s.K < 1 || s.K+s.M > MaxShards || s.Index >= s.K+s.M {
+		return Shard{}, ErrBadShard
+	}
+	if crc32.ChecksumIEEE(s.Payload) != binary.BigEndian.Uint32(b[10:]) {
+		return Shard{}, ErrBadShard
+	}
+	if want := (s.OrigLen + s.K - 1) / s.K; len(s.Payload) != want {
+		return Shard{}, ErrBadShard
+	}
+	return s, nil
+}
+
+// DecodeObject reconstructs the original object from any k valid shards
+// of one encoding. Nil entries and blobs that fail ParseShard are
+// treated as missing; extra valid shards beyond k are ignored. The
+// shards may arrive in any order — each carries its own index.
+func DecodeObject(blobs [][]byte) ([]byte, error) {
+	var got []Shard
+	seen := make(map[int]bool)
+	for _, b := range blobs {
+		if b == nil {
+			continue
+		}
+		s, err := ParseShard(b)
+		if err != nil {
+			continue
+		}
+		if len(got) > 0 {
+			ref := got[0]
+			if s.K != ref.K || s.M != ref.M || s.OrigLen != ref.OrigLen || len(s.Payload) != len(ref.Payload) {
+				return nil, ErrInconsistent
+			}
+		}
+		if seen[s.Index] {
+			continue
+		}
+		seen[s.Index] = true
+		got = append(got, s)
+		if len(got) == s.K {
+			break
+		}
+	}
+	if len(got) == 0 {
+		return nil, ErrInsufficient
+	}
+	k, origLen, shardLen := got[0].K, got[0].OrigLen, len(got[0].Payload)
+	if len(got) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, len(got), k)
+	}
+	planes, err := solvePlanes(got, k, shardLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, k*shardLen)
+	for i, p := range planes {
+		copy(out[i*shardLen:], p)
+	}
+	return out[:origLen], nil
+}
+
+// DecodeAny decodes in the presence of stale shards: when a same-named
+// object was re-encoded (a chain fold republishing under the leaf's
+// name) and the overwrite missed a replica, a gather mixes shards of two
+// encodings and the strict DecodeObject refuses the lot. DecodeAny
+// partitions the blobs into consistent encoding groups by header and
+// decodes the best one — most distinct shard indices first, ties broken
+// toward the larger original length (re-encodes under one name only
+// ever fold deltas into fuller images), then the larger geometry, all
+// deterministic. Fails only when no group reaches its own k.
+func DecodeAny(blobs [][]byte) ([]byte, error) {
+	type groupKey struct{ k, m, origLen, shardLen int }
+	groups := make(map[groupKey][][]byte)
+	seen := make(map[groupKey]map[int]bool)
+	for _, b := range blobs {
+		if b == nil {
+			continue
+		}
+		s, err := ParseShard(b)
+		if err != nil {
+			continue
+		}
+		key := groupKey{s.K, s.M, s.OrigLen, len(s.Payload)}
+		if seen[key] == nil {
+			seen[key] = make(map[int]bool)
+		}
+		if seen[key][s.Index] {
+			continue
+		}
+		seen[key][s.Index] = true
+		groups[key] = append(groups[key], b)
+	}
+	var best groupKey
+	found := false
+	better := func(key, cur groupKey) bool {
+		a, b := groups[key], groups[cur]
+		ad, bd := len(a) >= key.k, len(b) >= cur.k
+		switch {
+		case ad != bd:
+			return ad // a decodable group always beats an undecodable one
+		case len(a) != len(b):
+			return len(a) > len(b)
+		case key.origLen != cur.origLen:
+			return key.origLen > cur.origLen
+		case key.k != cur.k:
+			return key.k > cur.k
+		}
+		return key.m > cur.m
+	}
+	for key := range groups {
+		if !found || better(key, best) {
+			best, found = key, true
+		}
+	}
+	if !found {
+		return nil, ErrInsufficient
+	}
+	return DecodeObject(groups[best])
+}
+
+// ReconstructShards returns a full, freshly sealed shard set from any k
+// valid shards — the repair path when a replica holding one shard is
+// lost. The decode solves for the data planes, then re-encodes.
+func ReconstructShards(blobs [][]byte) ([][]byte, error) {
+	data, err := DecodeObject(blobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range blobs {
+		if b == nil {
+			continue
+		}
+		if s, perr := ParseShard(b); perr == nil {
+			return EncodeObject(data, s.K, s.M)
+		}
+	}
+	return nil, ErrInsufficient
+}
+
+// solvePlanes recovers the k data planes from k shards of mixed
+// data/parity rows: take the k generator-matrix rows the shards
+// correspond to, invert that k×k system, and apply it to the payloads.
+func solvePlanes(got []Shard, k, shardLen int) ([][]byte, error) {
+	m := got[0].M
+	full := codingMatrix(k, m)
+	sub := newMatrix(k, k)
+	for r, s := range got[:k] {
+		copy(sub[r], full[s.Index])
+	}
+	inv, err := sub.invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: unsolvable shard set: %w", err)
+	}
+	planes := make([][]byte, k)
+	for r := 0; r < k; r++ {
+		p := make([]byte, shardLen)
+		for c := 0; c < k; c++ {
+			coef := inv[r][c]
+			if coef == 0 {
+				continue
+			}
+			src := got[c].Payload
+			for i := range p {
+				p[i] ^= gmul(coef, src[i])
+			}
+		}
+		planes[r] = p
+	}
+	return planes, nil
+}
+
+// --- dense GF(256) matrices ---
+
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	for i := range m {
+		m[i] = make([]byte, cols)
+	}
+	return m
+}
+
+func (a matrix) mul(b matrix) matrix {
+	out := newMatrix(len(a), len(b[0]))
+	for r := range a {
+		for c := range b[0] {
+			var acc byte
+			for i := range b {
+				acc ^= gmul(a[r][i], b[i][c])
+			}
+			out[r][c] = acc
+		}
+	}
+	return out
+}
+
+// invert returns the inverse via Gauss–Jordan elimination with partial
+// pivoting (any nonzero pivot works in a field).
+func (a matrix) invert() (matrix, error) {
+	n := len(a)
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work[r], a[r])
+		work[r][n+r] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("erasure: singular matrix")
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if inv := ginv(work[col][col]); inv != 1 {
+			for c := 0; c < 2*n; c++ {
+				work[col][c] = gmul(work[col][c], inv)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			coef := work[r][col]
+			for c := 0; c < 2*n; c++ {
+				work[r][c] ^= gmul(coef, work[col][c])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out[r], work[r][n:])
+	}
+	return out, nil
+}

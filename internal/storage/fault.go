@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"math/rand"
+	"sync"
 )
 
 // ErrFault reports an injected storage fault: the transfer crashed
@@ -55,6 +56,10 @@ type FaultPolicy struct {
 	Outages      int
 	Tears        int
 	PublishFails int
+
+	// mu serialises draws and counter updates: one policy is shared by a
+	// server and its concurrent replica writers.
+	mu sync.Mutex
 }
 
 // crashWrite decides whether one Write call crashes. It returns the
@@ -64,6 +69,8 @@ func (fp *FaultPolicy) crashWrite(outageOK bool) (keepFrac float64, outage, cras
 	if fp == nil || fp.WriteFault <= 0 {
 		return 0, false, false
 	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
 	if fp.Rng.Float64() >= fp.WriteFault {
 		return 0, false, false
 	}
@@ -82,6 +89,8 @@ func (fp *FaultPolicy) tearCommit() (keepFrac float64, tear bool) {
 	if fp == nil || fp.SilentTear <= 0 {
 		return 0, false
 	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
 	if fp.Rng.Float64() >= fp.SilentTear {
 		return 0, false
 	}
@@ -94,6 +103,8 @@ func (fp *FaultPolicy) failPublish() bool {
 	if fp == nil || fp.PublishFault <= 0 {
 		return false
 	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
 	if fp.Rng.Float64() >= fp.PublishFault {
 		return false
 	}

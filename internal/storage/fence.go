@@ -15,6 +15,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -30,8 +31,11 @@ var ErrFenced = errors.New("storage: writer fenced off (stale epoch)")
 // supervisor's failover barrier, and comparing against it is how Publish
 // tells a live incarnation from a zombie one.
 type FenceDomain struct {
-	name  string
-	epoch uint64
+	name string
+	// epoch is read concurrently by every fenced replica writer while the
+	// supervisor advances it at failover; atomic keeps the -race suite's
+	// concurrent-writer scenarios honest.
+	epoch atomic.Uint64
 	ctr   *trace.Counters
 }
 
@@ -48,13 +52,13 @@ func NewFenceDomain(name string, ctr *trace.Counters) *FenceDomain {
 // published under earlier epochs keeps its committed images; every
 // writer still holding an earlier epoch is fenced off from here on.
 func (d *FenceDomain) Advance() uint64 {
-	d.epoch++
+	e := d.epoch.Add(1)
 	d.ctr.Inc("fence.epochs", 1)
-	return d.epoch
+	return e
 }
 
 // Epoch returns the current epoch.
-func (d *FenceDomain) Epoch() uint64 { return d.epoch }
+func (d *FenceDomain) Epoch() uint64 { return d.epoch.Load() }
 
 // Counters returns the domain's counter set.
 func (d *FenceDomain) Counters() *trace.Counters { return d.ctr }

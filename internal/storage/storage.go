@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/simtime"
@@ -24,6 +26,7 @@ const (
 	KindLocal
 	KindRemote
 	KindMemory
+	KindReplicated
 )
 
 func (k Kind) String() string {
@@ -36,6 +39,8 @@ func (k Kind) String() string {
 		return "remote"
 	case KindMemory:
 		return "memory"
+	case KindReplicated:
+		return "replicated"
 	}
 	return "?"
 }
@@ -69,9 +74,21 @@ func LedgerEnv(l *costmodel.Ledger) *Env {
 
 // Errors.
 var (
-	ErrUnavailable = errors.New("storage: target unavailable")
-	ErrNotFound    = errors.New("storage: object not found")
+	// ErrTargetUnavailable means the target itself cannot be reached (a
+	// failed node's disk, a server outage). Every Target method wraps it
+	// with the target name, so replica-selection logic can tell "node
+	// down" (try the next replica) from ErrNotFound "object missing"
+	// (the replica is healthy but never got the object).
+	ErrTargetUnavailable = errors.New("storage: target unavailable")
+	ErrNotFound          = errors.New("storage: object not found")
+	// ErrQuorum means a replicated write reached fewer replicas than its
+	// configured write quorum; the object must not be acked.
+	ErrQuorum = errors.New("storage: replica write quorum not met")
 )
+
+// ErrUnavailable is the historical name for ErrTargetUnavailable; the
+// two are the same value, so errors.Is matches either way.
+var ErrUnavailable = ErrTargetUnavailable
 
 // Writer receives checkpoint bytes. Commit makes the object durable and
 // visible; Abort discards it.
@@ -107,13 +124,54 @@ const chunk = 64 << 10
 
 // --- In-memory object store used by all targets ---
 
+// objectStore is mutex-protected: replicated writes fan out from
+// concurrent agents, and the -race suite drives several writers at one
+// store at once.
 type objectStore struct {
+	mu      sync.Mutex
 	objects map[string][]byte
 }
 
 func newObjectStore() *objectStore { return &objectStore{objects: make(map[string][]byte)} }
 
+// get returns a copy of the object's bytes (callers may retain it).
+func (s *objectStore) get(object string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[object]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+func (s *objectStore) put(object string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[object] = data
+}
+
+// remove deletes the object, reporting whether it existed.
+func (s *objectStore) remove(object string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[object]; !ok {
+		return false
+	}
+	delete(s.objects, object)
+	return true
+}
+
+func (s *objectStore) size(object string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[object]
+	return len(data), ok
+}
+
 func (s *objectStore) rename(old, new string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	data, ok := s.objects[old]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, old)
@@ -126,6 +184,8 @@ func (s *objectStore) rename(old, new string) error {
 // tear truncates a stored object to keepFrac of its bytes, deleting it
 // outright when nothing survives (the lost-image case).
 func (s *objectStore) tear(object string, keepFrac float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	data, ok := s.objects[object]
 	if !ok {
 		return
@@ -139,6 +199,8 @@ func (s *objectStore) tear(object string, keepFrac float64) {
 }
 
 func (s *objectStore) list() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	names := make([]string, 0, len(s.objects))
 	for n := range s.objects {
 		names = append(names, n)
@@ -223,7 +285,7 @@ func (w *localWriter) Write(p []byte) (int, error) {
 		w.buf = append(w.buf, p[:keep]...)
 		// The crash leaves whatever streamed so far on disk as a torn
 		// object; nobody is alive to clean it up.
-		w.l.store.objects[w.object] = append([]byte(nil), w.buf...)
+		w.l.store.put(w.object, append([]byte(nil), w.buf...))
 		w.done, w.crashed = true, true
 		return keep, fmt.Errorf("%w: %s/%s", ErrFault, w.l.name, w.object)
 	}
@@ -240,7 +302,7 @@ func (w *localWriter) Commit() error {
 		return fmt.Errorf("%w: %s", ErrUnavailable, w.l.name)
 	}
 	w.done = true
-	w.l.store.objects[w.object] = w.buf
+	w.l.store.put(w.object, w.buf)
 	return nil
 }
 
@@ -258,33 +320,40 @@ func (l *Local) ReadObject(object string, env *Env) ([]byte, error) {
 	if !l.Available() {
 		return nil, fmt.Errorf("%w: %s", ErrUnavailable, l.name)
 	}
-	data, ok := l.store.objects[object]
+	data, ok := l.store.get(object)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, l.name, object)
 	}
 	env.Wait(l.cm.DiskWrite(len(data)), "disk-read") // seek + stream
-	return append([]byte(nil), data...), nil
+	return data, nil
 }
 
 // List implements Target.
 func (l *Local) List() []string { return l.store.list() }
 
-// Delete implements Target.
+// Delete implements Target. A dead node's disk cannot be mutated — the
+// typed unavailability error lets GC sweeps keep the object pending
+// instead of mistaking "node down" for "already gone".
 func (l *Local) Delete(object string) error {
-	if _, ok := l.store.objects[object]; !ok {
+	if !l.Available() {
+		return fmt.Errorf("%w: %s", ErrTargetUnavailable, l.name)
+	}
+	if !l.store.remove(object) {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, l.name, object)
 	}
-	delete(l.store.objects, object)
 	return nil
 }
 
 // ObjectSize implements Target.
 func (l *Local) ObjectSize(object string) (int, error) {
-	data, ok := l.store.objects[object]
+	if !l.Available() {
+		return 0, fmt.Errorf("%w: %s", ErrTargetUnavailable, l.name)
+	}
+	n, ok := l.store.size(object)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, l.name, object)
 	}
-	return len(data), nil
+	return n, nil
 }
 
 // Publish implements Target. The one seek covers the metadata write and
@@ -310,7 +379,7 @@ type Server struct {
 	name   string
 	cm     *costmodel.Model
 	store  *objectStore
-	failed bool
+	failed atomic.Bool
 	faults *FaultPolicy
 }
 
@@ -320,10 +389,10 @@ func NewServer(name string, cm *costmodel.Model) *Server {
 }
 
 // Fail takes the server down; Recover brings it back with data intact.
-func (s *Server) Fail() { s.failed = true }
+func (s *Server) Fail() { s.failed.Store(true) }
 
 // Recover brings the server back.
-func (s *Server) Recover() { s.failed = false }
+func (s *Server) Recover() { s.failed.Store(false) }
 
 // SetFaults installs a per-operation fault-injection policy, shared by
 // every Remote client of this server (nil disables injection).
@@ -349,7 +418,7 @@ func (r *Remote) Name() string { return r.name }
 func (r *Remote) Kind() Kind { return KindRemote }
 
 // Available implements Target.
-func (r *Remote) Available() bool { return !r.srv.failed }
+func (r *Remote) Available() bool { return !r.srv.failed.Load() }
 
 // Create implements Target.
 func (r *Remote) Create(object string, env *Env) (Writer, error) {
@@ -384,7 +453,7 @@ func (w *remoteWriter) Write(p []byte) (int, error) {
 		w.buf = append(w.buf, p[:keep]...)
 		// The prefix that crossed the wire is on the server as a torn
 		// object; the client's connection is gone.
-		srv.store.objects[w.object] = append([]byte(nil), w.buf...)
+		srv.store.put(w.object, append([]byte(nil), w.buf...))
 		w.done, w.crashed = true, true
 		if outage {
 			// The crash was the server going down mid-transfer.
@@ -421,7 +490,7 @@ func (w *remoteWriter) Commit() error {
 		return fmt.Errorf("%w: %s", ErrUnavailable, w.r.name)
 	}
 	w.done = true
-	w.r.srv.store.objects[w.object] = w.buf
+	w.r.srv.store.put(w.object, w.buf)
 	return nil
 }
 
@@ -439,7 +508,7 @@ func (r *Remote) ReadObject(object string, env *Env) ([]byte, error) {
 	if !r.Available() {
 		return nil, fmt.Errorf("%w: %s", ErrUnavailable, r.name)
 	}
-	data, ok := r.srv.store.objects[object]
+	data, ok := r.srv.store.get(object)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, r.name, object)
 	}
@@ -451,28 +520,34 @@ func (r *Remote) ReadObject(object string, env *Env) ([]byte, error) {
 		}
 		env.Wait(r.cm.NetTransfer(n)+r.cm.DiskStream(n), "net-read")
 	}
-	return append([]byte(nil), data...), nil
+	return data, nil
 }
 
 // List implements Target.
 func (r *Remote) List() []string { return r.srv.store.list() }
 
-// Delete implements Target.
+// Delete implements Target. During a server outage the object's fate is
+// unknown, so the typed unavailability error keeps GC sweeps retrying.
 func (r *Remote) Delete(object string) error {
-	if _, ok := r.srv.store.objects[object]; !ok {
+	if !r.Available() {
+		return fmt.Errorf("%w: %s", ErrTargetUnavailable, r.name)
+	}
+	if !r.srv.store.remove(object) {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, r.name, object)
 	}
-	delete(r.srv.store.objects, object)
 	return nil
 }
 
 // ObjectSize implements Target.
 func (r *Remote) ObjectSize(object string) (int, error) {
-	data, ok := r.srv.store.objects[object]
+	if !r.Available() {
+		return 0, fmt.Errorf("%w: %s", ErrTargetUnavailable, r.name)
+	}
+	n, ok := r.srv.store.size(object)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, r.name, object)
 	}
-	return len(data), nil
+	return n, nil
 }
 
 // Publish implements Target: one server-side metadata round-trip.
@@ -553,7 +628,7 @@ func (w *memWriter) Commit() error {
 		return errors.New("storage: double commit")
 	}
 	w.done = true
-	w.m.store.objects[w.object] = w.buf
+	w.m.store.put(w.object, w.buf)
 	return nil
 }
 
@@ -565,11 +640,11 @@ func (m *Memory) ReadObject(object string, env *Env) ([]byte, error) {
 	if !m.Available() {
 		return nil, fmt.Errorf("%w: %s", ErrUnavailable, m.name)
 	}
-	data, ok := m.store.objects[object]
+	data, ok := m.store.get(object)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, object)
 	}
-	return append([]byte(nil), data...), nil
+	return data, nil
 }
 
 // List implements Target.
@@ -577,20 +652,25 @@ func (m *Memory) List() []string { return m.store.list() }
 
 // Delete implements Target.
 func (m *Memory) Delete(object string) error {
-	if _, ok := m.store.objects[object]; !ok {
+	if !m.Available() {
+		return fmt.Errorf("%w: %s", ErrTargetUnavailable, m.name)
+	}
+	if !m.store.remove(object) {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, object)
 	}
-	delete(m.store.objects, object)
 	return nil
 }
 
 // ObjectSize implements Target.
 func (m *Memory) ObjectSize(object string) (int, error) {
-	data, ok := m.store.objects[object]
+	if !m.Available() {
+		return 0, fmt.Errorf("%w: %s", ErrTargetUnavailable, m.name)
+	}
+	n, ok := m.store.size(object)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, object)
 	}
-	return len(data), nil
+	return n, nil
 }
 
 // Publish implements Target. RAM renames are free and never faulted.

@@ -89,6 +89,11 @@ func WriteBatch(t Target, items []BatchItem, env *Env) (published int, err error
 		}
 		if _, werr := w.Write(it.Data); werr != nil {
 			w.Abort()
+			// An injected crash leaves the current item's torn staging
+			// object on the target, and it is not in staged[] yet (only
+			// committed items are) — reclaim it with the rest so a failed
+			// batch leaves no debris behind.
+			_ = t.Delete(StagingName(it.Object))
 			cleanup(0)
 			return 0, fmt.Errorf("stage %s: %w", it.Object, werr)
 		}
@@ -102,7 +107,7 @@ func WriteBatch(t Target, items []BatchItem, env *Env) (published int, err error
 		if it.Parent != "" {
 			if _, perr := t.ObjectSize(it.Parent); perr != nil {
 				cleanup(i)
-				return i, fmt.Errorf("%w: %s needs %s: %v", ErrBrokenChain, it.Object, it.Parent, perr)
+				return published, fmt.Errorf("%w: %s needs %s: %v", ErrBrokenChain, it.Object, it.Parent, perr)
 			}
 		}
 		// One metadata round-trip pays for the whole batch: later renames
@@ -113,7 +118,7 @@ func WriteBatch(t Target, items []BatchItem, env *Env) (published int, err error
 		}
 		if perr := t.Publish(StagingName(it.Object), it.Object, penv); perr != nil {
 			cleanup(i)
-			return i, perr
+			return published, perr
 		}
 		published++
 	}

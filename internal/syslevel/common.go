@@ -198,6 +198,11 @@ func checkStorageKind(m mechanism.Mechanism, tgt storage.Target) error {
 		if tgt.Kind() == k || tgt.Kind() == storage.KindMemory {
 			return nil
 		}
+		// A replicated set fans out over the interconnect to buddy disks
+		// and the server: any mechanism with a remote path can feed it.
+		if tgt.Kind() == storage.KindReplicated && k == storage.KindRemote {
+			return nil
+		}
 	}
 	return fmt.Errorf("syslevel: %s supports storage %v, not %v", m.Name(), m.Features().Storage, tgt.Kind())
 }
