@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-ckpt bench-parallel bench-restore bench-replication check vet race fuzz chaos chaos-incremental chaos-replication
+.PHONY: all build test bench bench-ckpt bench-parallel bench-restore bench-replication bench-scale scenarios check vet race fuzz chaos chaos-incremental chaos-replication chaos-sharded
 
 all: build test
 
@@ -46,6 +46,22 @@ bench-restore:
 bench-replication:
 	$(GO) run ./cmd/crbench -bench7 BENCH_7.json
 
+# Fleet-scale bench (experiment E18): the fleet-1k and fleet-10k catalog
+# scenarios measured back to back — orchestration events/sec, detection
+# and failover latency tails, and the armed-timer count at each scale.
+# Exits nonzero if either scenario fails its criteria or the 10k-node
+# detect p99 exceeds 2x the 1k-node p99.
+bench-scale:
+	$(GO) run ./cmd/crbench -bench8 BENCH_8.json
+
+# The declarative scenario-validation suite's CI subset: every fast
+# catalog scenario (64..1000 nodes, faulty digests, whole-shard
+# evacuation, the broken-fencing contrast run) judged against its own
+# ValidationCriteria. The full 10k-node scenario runs in `make test`
+# (skipped only under -short) and in bench-scale.
+scenarios:
+	$(GO) test ./internal/scenario/ -run 'TestFastScenariosPass|TestBrokenFencingScenarioCatchesDoubleCommit' -count=1 -v
+
 vet:
 	$(GO) vet ./...
 
@@ -81,4 +97,11 @@ chaos-incremental:
 chaos-replication:
 	$(GO) run ./cmd/crsurvey chaos -seeds 80 -replication
 
-check: build vet race fuzz chaos-replication
+# Sharded-detection sweep: digest-path detection forced on every seed
+# wide enough for two shards, so aggregator failover, observer probing,
+# and digest loss run under the full chaos fault palette (80 seeds here;
+# the nightly run goes wider).
+chaos-sharded:
+	$(GO) run ./cmd/crsurvey chaos -seeds 80 -sharded
+
+check: build vet race fuzz scenarios chaos-replication chaos-sharded

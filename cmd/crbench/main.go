@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E17 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E18 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -23,6 +23,11 @@
 //	                   # per placement mode, degraded-restore latency with
 //	                   # the owner's disk lost, failover-measured restore
 //	                   # p50 under buddy and erasure placement) as JSON
+//	crbench -bench8 BENCH_8.json
+//	                   # write the E18 fleet-scale bench (events/sec,
+//	                   # detection and failover latency at 1k and 10k
+//	                   # nodes; gates the 1k→10k detect-p99 ratio at 2x)
+//	                   # as JSON
 package main
 
 import (
@@ -44,7 +49,32 @@ func main() {
 	bench5 := flag.String("bench5", "", "write the E15 parallel-capture bench to this JSON file and exit")
 	bench6 := flag.String("bench6", "", "write the E16 restore bench to this JSON file and exit")
 	bench7 := flag.String("bench7", "", "write the E17 replication bench to this JSON file and exit")
+	bench8 := flag.String("bench8", "", "write the E18 fleet-scale bench to this JSON file and exit")
 	flag.Parse()
+
+	if *bench8 != "" {
+		s := experiments.E18Bench(*quick)
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*bench8, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		for _, p := range s.Points {
+			fmt.Printf("%-10s %5d nodes / %2d shards: %8.0f events/s, detect p99 %.2f ms, failover p99 %.2f ms, %d timers, pass=%v\n",
+				p.Name, p.Nodes, p.Shards, p.EventsPerSec, p.DetectP99Ms, p.FailoverP99Ms, p.Timers, p.Pass)
+		}
+		fmt.Printf("1k→10k detect p99 ratio %.2fx (gate: <= 2x): %v\n", s.DetectRatio, s.RatioWithin2x)
+		fmt.Println("wrote", *bench8)
+		if !s.AllPass || !s.RatioWithin2x {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench7 != "" {
 		s := experiments.E17Bench(*quick)
@@ -151,8 +181,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 17 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..17)\n", part)
+			if err != nil || n < 1 || n > 18 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..18)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -198,6 +228,7 @@ func main() {
 		{15, func() *trace.Table { return experiments.E15Parallel(*quick) }},
 		{16, func() *trace.Table { return experiments.E16Restore(*quick) }},
 		{17, func() *trace.Table { return experiments.E17Replication(*quick) }},
+		{18, func() *trace.Table { return experiments.E18Scale(*quick) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

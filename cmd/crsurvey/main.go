@@ -21,6 +21,9 @@
 //	crsurvey chaos -replication -seeds 200  # replicated placement forced on: buddy
 //	                                        # mirrors everywhere, 2+1 erasure where the
 //	                                        # cluster is wide enough (repl invariants)
+//	crsurvey chaos -sharded -seeds 200      # sharded digest detection forced on wherever
+//	                                        # the cluster is wide enough (aggregator
+//	                                        # failover under chaos)
 //	crsurvey chaos -replay 42            # re-run one seed, print its event log
 //	crsurvey chaos -replay 42 -spec '{...}' -shrink
 package main
@@ -97,6 +100,7 @@ func chaosMain(args []string) {
 	broken := fs.Bool("broken", false, "disable epoch fencing (the deliberately broken build)")
 	incremental := fs.Bool("incremental", false, "force delta-chain shipping on every spec (chain-invariant sweep)")
 	replication := fs.Bool("replication", false, "force replicated placement on every spec (replication-invariant sweep)")
+	sharded := fs.Bool("sharded", false, "force sharded digest detection on every spec wide enough for it")
 	replay := fs.Int64("replay", 0, "replay one seed instead of sweeping")
 	spec := fs.String("spec", "", "replay this spec JSON (from a printed replay line) instead of regenerating from the seed")
 	shrink := fs.Bool("shrink", false, "shrink a violating replay to a minimal reproducer")
@@ -125,6 +129,13 @@ func chaosMain(args []string) {
 				sp.Replication = "buddy"
 				sp.DataShards, sp.ParityShards = 0, 0
 			}
+		}
+		// -sharded forces the digest detection path wherever the cluster is
+		// wide enough (each of the two shards keeps a failover candidate
+		// when its aggregator dies), so a sweep exercises aggregator
+		// failover and digest loss on all eligible seeds.
+		if *sharded && sp.Shards == 0 && sp.Workers() >= 4 {
+			sp.Shards = 2
 		}
 	}
 

@@ -154,5 +154,15 @@ func Generate(seed int64) *Spec {
 			sp.Replication = "buddy"
 		}
 	}
+
+	// Sharded digest detection on a quarter of the wide seeds: workers
+	// heartbeat to per-shard aggregators and the observer ingests one
+	// digest per shard per period. Needs four workers so each of the two
+	// shards still has a failover candidate when its aggregator dies.
+	// Drawn last, after Replication, so earlier replay lines reproduce
+	// unchanged.
+	if workers >= 4 && rng.Float64() < 0.25 {
+		sp.Shards = 2
+	}
 	return sp
 }

@@ -95,7 +95,20 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 	if err != nil {
 		return &Result{Spec: sp, Violations: []Violation{{Invariant: "spec", Detail: err.Error()}}}
 	}
-	mon := detector.NewMonitor(c, det, detector.Config{Period: sp.HBPeriod, Observer: sp.observer()}, c.Counters)
+	// Sharded seeds route detection through the digest path: per-shard
+	// aggregators fold worker heartbeats and the observer ingests one
+	// digest per shard per period. Both monitors satisfy the supervisor's
+	// FailureDetector contract and expose the suspicion event log.
+	var mon interface {
+		cluster.FailureDetector
+		Events() []detector.Event
+	}
+	if sp.Shards >= 2 {
+		mon = detector.NewShardMonitor(c, det,
+			detector.ShardConfig{Shards: sp.Shards, Period: sp.HBPeriod, Observer: sp.observer()}, c.Counters)
+	} else {
+		mon = detector.NewMonitor(c, det, detector.Config{Period: sp.HBPeriod, Observer: sp.observer()}, c.Counters)
+	}
 
 	sup, err := cluster.NewSupervisor(cluster.SupervisorConfig{
 		C:            c,

@@ -67,6 +67,11 @@ func candidates(sp *Spec) []*Spec {
 		c.Replication, c.DataShards, c.ParityShards = "", 0, 0
 		out = append(out, c)
 	}
+	if sp.Shards != 0 {
+		c := sp.Clone()
+		c.Shards = 0
+		out = append(out, c)
+	}
 	if sp.Iterations > 10 {
 		c := sp.Clone()
 		c.Iterations /= 2
@@ -102,6 +107,9 @@ func dropTopWorker(sp *Spec) *Spec {
 	}
 	c := sp.Clone()
 	c.Nodes--
+	if c.Shards > c.workers() {
+		c.Shards = c.workers()
+	}
 	return c
 }
 

@@ -126,6 +126,15 @@ type Spec struct {
 	// only; zero uses the cluster defaults of 2+1).
 	DataShards   int `json:"rs_k,omitempty"`
 	ParityShards int `json:"rs_m,omitempty"`
+
+	// Shards, when >= 2, routes failure detection through the sharded
+	// digest path: workers heartbeat to per-shard aggregator nodes and
+	// the observer ingests one digest per shard per period
+	// (detector.ShardMonitor), with observer-driven aggregator failover,
+	// instead of one heartbeat per worker per period. Zero keeps the
+	// flat Monitor, and is the default for replay lines predating
+	// digests.
+	Shards int `json:"shards,omitempty"`
 }
 
 // pipelineConfig translates the Pipeline knob into the supervisor's
@@ -173,6 +182,9 @@ func (sp *Spec) Size() int {
 		n++
 	}
 	if sp.Replication != "" {
+		n++
+	}
+	if sp.Shards != 0 {
 		n++
 	}
 	return n
@@ -261,6 +273,9 @@ func (sp *Spec) validate() error {
 		if k+m > sp.workers() {
 			return fmt.Errorf("chaos: erasure geometry %d+%d needs %d workers, have %d", k, m, k+m, sp.workers())
 		}
+	}
+	if sp.Shards != 0 && (sp.Shards < 2 || sp.Shards > sp.workers()) {
+		return fmt.Errorf("chaos: detector shards %d outside [2,%d]", sp.Shards, sp.workers())
 	}
 	return nil
 }

@@ -1,0 +1,142 @@
+// Race-focused exercises for the concurrent shard event loops. These
+// are ordinary deterministic tests, but they are shaped to maximize
+// cross-shard interleaving — simultaneous failovers in several shards,
+// migration ping-pong between two shards, and root/shard fence-epoch
+// handoff — and the CI race subset runs this package under -race.
+
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// Every shard fails a member at the same instant, so all shard loops
+// run their failover + fence-advance paths in the same tick, in
+// parallel.
+func TestRaceSimultaneousShardFailovers(t *testing.T) {
+	cfg := fleetCfg(16, 4, 16, 21)
+	r := MustNewRootSupervisor(cfg)
+	for s := 0; s < 4; s++ {
+		// First member of each shard (shards are contiguous quarters).
+		if err := r.FailAt(10*simtime.Millisecond, s*4, true, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Run(100 * simtime.Millisecond)
+	if st.Detections != 4 {
+		t.Fatalf("detections = %d, want 4", st.Detections)
+	}
+	if st.Failovers < 4 {
+		t.Fatalf("failovers = %d, want >= 4", st.Failovers)
+	}
+	for s := 0; s < 4; s++ {
+		if e := r.shards[s].fence.Epoch(); e < 2 {
+			t.Fatalf("shard %d fence epoch %d, want >= 2 (advanced on failover)", s, e)
+		}
+	}
+	if st.DoubleCommits != 0 {
+		t.Fatalf("double commits = %d", st.DoubleCommits)
+	}
+}
+
+// Migration ping-pong: shard 0's members all fail transiently (jobs
+// migrate to shard 1), then after shard 0 recovers, shard 1's members
+// all fail (jobs migrate back). The root's placement path and both
+// shards' loops hand the same jobs back and forth.
+func TestRaceCrossShardMigratePingPong(t *testing.T) {
+	cfg := fleetCfg(4, 2, 2, 23)
+	r := MustNewRootSupervisor(cfg)
+	for _, n := range []int{0, 1} {
+		if err := r.FailAt(10*simtime.Millisecond, n, false, 40*simtime.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []int{2, 3} {
+		if err := r.FailAt(80*simtime.Millisecond, n, false, 40*simtime.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Run(200 * simtime.Millisecond)
+	if st.Migrations < 2 {
+		t.Fatalf("migrations = %d, want >= 2 (ping and pong)\n%s", st.Migrations, FormatEvents(r.Events))
+	}
+	if st.DoubleCommits != 0 {
+		t.Fatalf("double commits = %d", st.DoubleCommits)
+	}
+	// Jobs must end up placed somewhere and still checkpointing.
+	placed := 0
+	for _, sh := range r.shards {
+		placed += len(sh.jobs)
+	}
+	if placed != 2 {
+		t.Fatalf("%d jobs placed at end, want 2 (pending=%d)", placed, len(r.pending))
+	}
+}
+
+// Fence-epoch handoff under sustained churn: lossy digests induce false
+// suspicions and epoch advances in every shard while the root migrates
+// jobs between them. Run twice to also pin determinism under the racy
+// schedule.
+func TestRaceFenceEpochHandoffChurn(t *testing.T) {
+	run := func() (FleetStats, string) {
+		cfg := fleetCfg(24, 6, 24, 29)
+		cfg.DigestLoss = 0.30
+		cfg.DigestJitter = 2 * simtime.Millisecond
+		cfg.DetectAfter = 2 * simtime.Millisecond
+		r := MustNewRootSupervisor(cfg)
+		for i := 0; i < 6; i++ {
+			if err := r.FailAt(simtime.Duration(10+i*15)*simtime.Millisecond, i*4+1, false, 25*simtime.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.Run(250 * simtime.Millisecond), FormatEvents(r.Events)
+	}
+	st1, ev1 := run()
+	if st1.DoubleCommits != 0 {
+		t.Fatalf("double commits = %d under churn with fencing on", st1.DoubleCommits)
+	}
+	if st1.Failovers == 0 {
+		t.Fatal("churn produced no failovers; test exercises nothing")
+	}
+	_, ev2 := run()
+	if ev1 != ev2 {
+		t.Fatal("event log diverges across identical churn runs")
+	}
+}
+
+// The root's migration path must bind the job to the TARGET shard's
+// fence domain: after migration, an epoch advance in the source shard
+// must not fence the migrated writer, and an advance in the target
+// shard must.
+func TestRaceMigratedWriterBoundToTargetFence(t *testing.T) {
+	cfg := fleetCfg(4, 2, 1, 31)
+	r := MustNewRootSupervisor(cfg)
+	for _, n := range []int{0, 1} {
+		if err := r.FailAt(10*simtime.Millisecond, n, true, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Run(60 * simtime.Millisecond)
+	var job *fleetJob
+	for _, sh := range r.shards {
+		if len(sh.jobs) > 0 {
+			job = sh.jobs[0]
+		}
+	}
+	if job == nil || r.shardOfNode(job.node).id != 1 {
+		t.Fatalf("job not migrated to shard 1\n%s", FormatEvents(r.Events))
+	}
+	// Source-shard advance: the migrated writer is unaffected.
+	r.shards[0].fence.Advance()
+	if err := storage.Write(job.tgt, "s001/handoff-probe-a", []byte("x"), storage.WriteOptions{Atomic: true}); err != nil {
+		t.Fatalf("source-shard fence advance fenced a migrated writer: %v", err)
+	}
+	// Target-shard advance: the writer's epoch is now stale.
+	r.shards[1].fence.Advance()
+	if err := storage.Write(job.tgt, "s001/handoff-probe-b", []byte("x"), storage.WriteOptions{Atomic: true}); err == nil {
+		t.Fatal("target-shard fence advance did not fence the migrated writer")
+	}
+}

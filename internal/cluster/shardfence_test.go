@@ -1,0 +1,86 @@
+// Per-shard fence-domain isolation regression tests: each shard owns an
+// independent fence domain over an independent store, so a stale writer
+// fenced in shard A must not be able to publish into shard B under any
+// name, and shard-local GC must refuse to delete outside its own
+// namespace.
+
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// A writer fenced out of shard A stays fenced whatever object name it
+// targets — including names inside shard B's namespace — and nothing it
+// attempts ever lands in shard B's store.
+func TestShardFenceStaleWriterCannotCrossShards(t *testing.T) {
+	r := MustNewRootSupervisor(fleetCfg(4, 2, 2, 17))
+	shA, shB := r.shards[0], r.shards[1]
+
+	stale := shA.writerTarget(shA.fence.Epoch())
+	shA.fence.Advance() // supersede it
+
+	for _, name := range []string{"s000/stale-own", "s001/stale-foreign"} {
+		err := storage.Write(stale, name, []byte("stale"), storage.WriteOptions{Atomic: true})
+		if !errors.Is(err, storage.ErrFenced) {
+			t.Fatalf("stale writer publish %q: err = %v, want ErrFenced", name, err)
+		}
+	}
+	if _, err := shB.store.ReadObject("s001/stale-foreign", nil); err == nil {
+		t.Fatal("stale shard-A writer landed an object in shard B's store")
+	}
+	// A current shard-B writer is untouched by shard A's advance.
+	cur := shB.writerTarget(shB.fence.Epoch())
+	if err := storage.Write(cur, "s001/live", []byte("live"), storage.WriteOptions{Atomic: true}); err != nil {
+		t.Fatalf("shard-A fence advance disturbed shard B's writer: %v", err)
+	}
+}
+
+// Shard-local GC refuses foreign-namespace names outright: the delete is
+// not attempted, the refusal is counted, and the foreign object
+// survives.
+func TestShardGCRefusesForeignPrefix(t *testing.T) {
+	r := MustNewRootSupervisor(fleetCfg(4, 2, 2, 19))
+	shA, shB := r.shards[0], r.shards[1]
+
+	cur := shB.writerTarget(shB.fence.Epoch())
+	if err := storage.Write(cur, "s001/victim", []byte("keep me"), storage.WriteOptions{Atomic: true}); err != nil {
+		t.Fatal(err)
+	}
+	job := shA.jobs[0]
+	shA.retire(0, job, "s001/victim")
+	if got := shA.ctr.Get("fence.gc_foreign"); got != 1 {
+		t.Fatalf("fence.gc_foreign = %d, want 1", got)
+	}
+	if _, err := shB.store.ReadObject("s001/victim", nil); err != nil {
+		t.Fatalf("shard A's GC deleted shard B's object: %v", err)
+	}
+}
+
+// End-to-end: a full run with failovers in one shard never produces
+// retire events for another shard's namespace from that shard, and
+// every shard's store only ever holds its own prefix.
+func TestShardStoresStayNamespaced(t *testing.T) {
+	cfg := fleetCfg(8, 2, 8, 37)
+	cfg.DigestLoss = 0.25
+	cfg.DetectAfter = 2 * simtime.Millisecond
+	r := MustNewRootSupervisor(cfg)
+	if err := r.FailAt(15*simtime.Millisecond, 1, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Run(150 * simtime.Millisecond)
+	for _, sh := range r.shards {
+		for _, name := range sh.store.List() {
+			if len(name) < len(sh.prefix) || name[:len(sh.prefix)] != sh.prefix {
+				t.Fatalf("shard %d store holds foreign object %q", sh.id, name)
+			}
+		}
+	}
+	if got := r.Counters().Get("fence.gc_foreign"); got != 0 {
+		t.Fatalf("fence.gc_foreign = %d during normal operation, want 0", got)
+	}
+}

@@ -1,0 +1,203 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestDigestBitmapAcrossWordBoundary(t *testing.T) {
+	d := NewDigest(0, 100, 70) // spans two 64-bit words
+	for _, i := range []int{0, 63, 64, 69} {
+		d.MarkPresent(i, ms(5))
+	}
+	if got := d.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	for _, i := range []int{0, 63, 64, 69} {
+		if !d.IsPresent(i) {
+			t.Fatalf("member %d lost", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 70, -1} {
+		if d.IsPresent(i) {
+			t.Fatalf("member %d spuriously present", i)
+		}
+	}
+	// MarkPresent keeps the NEWEST send time.
+	d.MarkPresent(0, ms(3))
+	if d.LastSent[0] != ms(5) {
+		t.Fatalf("LastSent regressed to %v", d.LastSent[0])
+	}
+	if d.Bytes() != 48+2*8+4*8 {
+		t.Fatalf("Bytes = %d", d.Bytes())
+	}
+}
+
+func TestDigestIngestDropsExactDuplicates(t *testing.T) {
+	ctr := trace.NewCounters()
+	det := NewTimeout(msDur(4))
+	di := NewDigestIngest(det, ctr)
+	di.Prime(0, 0)
+
+	d := NewDigest(0, 0, 2)
+	d.Agg, d.Seq = 0, 1
+	d.MarkPresent(0, ms(1))
+
+	if !di.Observe(d, ms(1)) {
+		t.Fatal("first delivery dropped")
+	}
+	// A network-duplicated copy arrives later; it must NOT extend node
+	// 0's observed liveness to the later arrival time.
+	if di.Observe(d, ms(5)) {
+		t.Fatal("duplicate applied")
+	}
+	if ctr.Get("det.digest_dup") != 1 {
+		t.Fatalf("det.digest_dup = %d, want 1", ctr.Get("det.digest_dup"))
+	}
+	if !det.Suspected(0, ms(6)) {
+		t.Fatal("duplicate refreshed liveness: node unsuspected past its timeout")
+	}
+}
+
+func TestDigestIngestAppliesLateDigests(t *testing.T) {
+	ctr := trace.NewCounters()
+	det := NewTimeout(msDur(4))
+	di := NewDigestIngest(det, ctr)
+	di.Prime(0, 0)
+	di.Prime(1, 0)
+
+	d2 := NewDigest(0, 0, 2)
+	d2.Agg, d2.Seq = 0, 2
+	d2.MarkPresent(0, ms(2))
+	d1 := NewDigest(0, 0, 2)
+	d1.Agg, d1.Seq = 0, 1
+	d1.MarkPresent(1, ms(1)) // only the late digest saw node 1
+
+	if !di.Observe(d2, ms(2)) {
+		t.Fatal("in-order digest dropped")
+	}
+	// Seq 1 arrives after seq 2 (jittery path): its heartbeats really
+	// happened, so it must be applied, and counted as late.
+	if !di.Observe(d1, ms(3)) {
+		t.Fatal("late digest dropped")
+	}
+	if ctr.Get("det.digest_late") != 1 {
+		t.Fatalf("det.digest_late = %d, want 1", ctr.Get("det.digest_late"))
+	}
+	if det.Suspected(1, ms(6)) {
+		t.Fatal("late digest's heartbeat discarded: node 1 suspected")
+	}
+}
+
+func TestDigestIngestPrimesJoiners(t *testing.T) {
+	ctr := trace.NewCounters()
+	det := NewTimeout(msDur(4))
+	di := NewDigestIngest(det, ctr)
+	// Node 1 exists but was never primed — it joined mid-run and first
+	// appears inside a digest.
+	d := NewDigest(0, 0, 2)
+	d.Agg, d.Seq = 0, 1
+	d.MarkPresent(1, ms(10))
+	di.Observe(d, ms(10))
+	if ctr.Get("det.digest_joins") != 1 {
+		t.Fatalf("det.digest_joins = %d, want 1", ctr.Get("det.digest_joins"))
+	}
+	if det.Suspected(1, ms(12)) {
+		t.Fatal("joiner suspected immediately after its first digest")
+	}
+	if !det.Suspected(1, ms(20)) {
+		t.Fatal("joiner never times out")
+	}
+}
+
+func TestDigestIngestEmptyShard(t *testing.T) {
+	ctr := trace.NewCounters()
+	di := NewDigestIngest(NewTimeout(msDur(4)), ctr)
+	d := NewDigest(3, 10, 0) // a shard with zero members
+	d.Agg, d.Seq = 10, 1
+	if !di.Observe(d, ms(1)) {
+		t.Fatal("empty digest dropped")
+	}
+	if d.Count() != 0 || d.Bytes() != 48 {
+		t.Fatalf("empty digest Count=%d Bytes=%d", d.Count(), d.Bytes())
+	}
+	if ctr.Get("det.digest_hb") != 0 {
+		t.Fatal("empty digest produced member heartbeats")
+	}
+}
+
+func TestDigestIngestPrunesDedupMemory(t *testing.T) {
+	di := NewDigestIngest(NewTimeout(msDur(4)), nil)
+	for seq := uint64(1); seq <= 3000; seq++ {
+		d := NewDigest(0, 0, 1)
+		d.Agg, d.Seq = 0, seq
+		di.Observe(d, ms(int(seq)))
+	}
+	if len(di.applied) > 1600 {
+		t.Fatalf("dedup memory unbounded: %d entries after 3000 digests", len(di.applied))
+	}
+}
+
+// The equivalence property: a detector fed per-tick digests must reach
+// the same per-node verdicts as one fed the identical heartbeat stream
+// node by node. Table-driven over heartbeat timelines.
+func TestDigestVsPerNodeEquivalence(t *testing.T) {
+	type tick struct {
+		at    simtime.Time
+		beats []int // members that heartbeated this tick
+	}
+	mk := func(beats ...[]int) []tick {
+		var ts []tick
+		for i, b := range beats {
+			ts = append(ts, tick{at: ms(i + 1), beats: b})
+		}
+		return ts
+	}
+	const n = 4
+	cases := []struct {
+		name  string
+		ticks []tick
+	}{
+		{"all alive", mk([]int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{0, 1, 2, 3})},
+		{"node 2 dies", mk([]int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{0, 1, 3}, []int{0, 1, 3}, []int{0, 1, 3}, []int{0, 1, 3}, []int{0, 1, 3}, []int{0, 1, 3}, []int{0, 1, 3}, []int{0, 1, 3})},
+		{"node 1 flaps", mk([]int{0, 1, 2, 3}, []int{0, 2, 3}, []int{0, 1, 2, 3}, []int{0, 2, 3}, []int{0, 1, 2, 3}, []int{0, 2, 3}, []int{0, 1, 2, 3}, []int{0, 2, 3})},
+		{"two die, one returns", mk([]int{0, 1, 2, 3}, []int{0, 1}, []int{0, 1}, []int{0, 1}, []int{0, 1}, []int{0, 1, 2}, []int{0, 1, 2}, []int{0, 1, 2}, []int{0, 1, 2})},
+		{"total silence", mk([]int{0, 1, 2, 3}, []int{}, []int{}, []int{}, []int{}, []int{}, []int{})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			perNode := NewTimeout(msDur(3))
+			digested := NewTimeout(msDur(3))
+			di := NewDigestIngest(digested, nil)
+			for i := 0; i < n; i++ {
+				perNode.Prime(i, 0)
+				di.Prime(i, 0)
+			}
+			var seq uint64
+			for _, tk := range tc.ticks {
+				d := NewDigest(0, 0, n)
+				for _, b := range tk.beats {
+					perNode.Observe(b, tk.at)
+					d.MarkPresent(b, tk.at)
+				}
+				seq++
+				d.Agg, d.Seq, d.SentAt = 0, seq, tk.at
+				di.Observe(d, tk.at)
+				for i := 0; i < n; i++ {
+					if got, want := digested.Suspected(i, tk.at), perNode.Suspected(i, tk.at); got != want {
+						t.Fatalf("at %v node %d: digest verdict %v, per-node verdict %v", tk.at, i, got, want)
+					}
+				}
+			}
+			// Verdicts also agree well past the last heartbeat.
+			end := tc.ticks[len(tc.ticks)-1].at.Add(msDur(10))
+			for i := 0; i < n; i++ {
+				if got, want := digested.Suspected(i, end), perNode.Suspected(i, end); got != want {
+					t.Fatalf("final: node %d digest %v per-node %v", i, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// E18Scale measures the fleet-scale control plane at the two anchors of
+// the scale pair — the fleet-1k and fleet-10k catalog scenarios, both
+// run with identical tick, detector bound, and fault density — and
+// reports orchestration throughput, detection-latency, and failover
+// tails at each scale. The acceptance line is the ratio row: the sharded
+// digest architecture's claim is that detection latency does not grow
+// with fleet size, gated as 10k-node detect p99 within 2x of the
+// 1k-node p99.
+func E18Scale(quick bool) *trace.Table {
+	s := E18Bench(quick)
+	tb := trace.NewTable(
+		"E18 — fleet scale: detection and failover latency vs fleet size",
+		"scenario", "nodes", "shards", "pass", "events/s", "detect p99(ms)", "failover p99(ms)", "timers")
+	for _, p := range s.Points {
+		tb.Row(p.Name, fmt.Sprint(p.Nodes), fmt.Sprint(p.Shards), fmt.Sprint(p.Pass),
+			fmt.Sprintf("%.0f", p.EventsPerSec), fmt.Sprintf("%.2f", p.DetectP99Ms),
+			fmt.Sprintf("%.2f", p.FailoverP99Ms), fmt.Sprint(p.Timers))
+	}
+	tb.Note(fmt.Sprintf("1k→10k detect p99 ratio %.2fx (gate: <= 2x): %v", s.DetectRatio, s.RatioWithin2x))
+	tb.Note("timers = armed recurring timers: one digest tick per shard, not one per node")
+	return tb
+}
+
+// E18ScalePoint is one scenario's measured summary.
+type E18ScalePoint struct {
+	Name          string   `json:"name"`
+	Nodes         int      `json:"nodes"`
+	Shards        int      `json:"shards"`
+	Jobs          int      `json:"jobs"`
+	Pass          bool     `json:"pass"`
+	Failures      []string `json:"failures,omitempty"`
+	EventsPerSec  float64  `json:"events_per_sec"`
+	WallMs        float64  `json:"wall_ms"`
+	DetectP50Ms   float64  `json:"detect_p50_ms"`
+	DetectP99Ms   float64  `json:"detect_p99_ms"`
+	FailoverP99Ms float64  `json:"failover_p99_ms"`
+	Detections    int      `json:"detections"`
+	Checkpoints   int64    `json:"checkpoints"`
+	Migrations    int64    `json:"migrations"`
+	Timers        int      `json:"timers"`
+}
+
+// E18Summary is the payload of BENCH_8.json.
+type E18Summary struct {
+	Points []E18ScalePoint `json:"points"`
+	// DetectRatio is fleet-10k's detect p99 over fleet-1k's — the number
+	// the scale claim stands on.
+	DetectRatio   float64 `json:"detect_p99_ratio_10k_vs_1k"`
+	RatioWithin2x bool    `json:"ratio_within_2x"`
+	AllPass       bool    `json:"all_pass"`
+}
+
+// E18Bench runs the scale pair and returns the machine-readable summary
+// (the bench-scale make target). The quick flag is accepted for CLI
+// symmetry with the other benches but changes nothing: the whole pair is
+// simulated-time work that completes in under a second of wall clock, so
+// CI always measures the real 10k-node scenario.
+func E18Bench(quick bool) E18Summary {
+	_ = quick
+	out := E18Summary{AllPass: true}
+	var p99 [2]float64
+	for i, name := range []string{"fleet-1k", "fleet-10k"} {
+		sc, ok := scenario.Find(name)
+		if !ok {
+			panic("E18: scenario " + name + " missing from catalog")
+		}
+		res := scenario.Run(sc)
+		out.Points = append(out.Points, E18ScalePoint{
+			Name: res.Name, Nodes: sc.Config.Nodes, Shards: sc.Config.Shards, Jobs: sc.Config.Jobs,
+			Pass: res.Pass, Failures: res.Failures,
+			EventsPerSec: res.EventsPerSec, WallMs: res.WallMillis,
+			DetectP50Ms: res.Stats.DetectP50, DetectP99Ms: res.Stats.DetectP99,
+			FailoverP99Ms: res.Stats.FailoverP99,
+			Detections:    res.Stats.Detections, Checkpoints: res.Stats.Checkpoints,
+			Migrations: res.Stats.Migrations, Timers: res.Stats.Timers,
+		})
+		p99[i] = res.Stats.DetectP99
+		if !res.Pass {
+			out.AllPass = false
+		}
+	}
+	if p99[0] > 0 {
+		out.DetectRatio = p99[1] / p99[0]
+	}
+	out.RatioWithin2x = out.DetectRatio > 0 && out.DetectRatio <= 2.0
+	return out
+}

@@ -1,0 +1,61 @@
+// Sharded counters: the fleet-scale control plane runs one event loop
+// per shard, and a single mutex-protected Counters instance would
+// serialize every loop on one lock (and make counter cache lines the
+// hottest memory in the process). ShardedCounters gives each shard its
+// own Counters so a shard loop only ever touches shard-local state;
+// readers merge on demand. The merged view is deterministic: summing is
+// order-independent, and Counters renders names sorted.
+
+package trace
+
+import "fmt"
+
+// ShardedCounters is a set of per-shard Counters with a merged read
+// side. Writers use Shard(i) (no cross-shard contention); readers use
+// Get/Merged/String, which sum across shards.
+type ShardedCounters struct {
+	shards []*Counters
+}
+
+// NewShardedCounters returns n independent counter shards.
+func NewShardedCounters(n int) *ShardedCounters {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: ShardedCounters needs n >= 1, got %d", n))
+	}
+	s := &ShardedCounters{shards: make([]*Counters, n)}
+	for i := range s.shards {
+		s.shards[i] = NewCounters()
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *ShardedCounters) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's private Counters. Each shard loop must only
+// write through its own slot.
+func (s *ShardedCounters) Shard(i int) *Counters { return s.shards[i] }
+
+// Get returns the value of name summed across all shards.
+func (s *ShardedCounters) Get(name string) int64 {
+	var total int64
+	for _, c := range s.shards {
+		total += c.Get(name)
+	}
+	return total
+}
+
+// Merged returns a fresh Counters holding the per-name sums across all
+// shards — a consistent snapshot for digests and reports.
+func (s *ShardedCounters) Merged() *Counters {
+	out := NewCounters()
+	for _, c := range s.shards {
+		for name, v := range c.Snapshot() {
+			out.Inc(name, v)
+		}
+	}
+	return out
+}
+
+// String renders the merged view (sorted by name, one per line).
+func (s *ShardedCounters) String() string { return s.Merged().String() }
