@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-ckpt bench-parallel bench-restore bench-replication bench-scale scenarios check vet race fuzz chaos chaos-incremental chaos-replication chaos-sharded
+.PHONY: all build test bench bench-ckpt bench-parallel bench-restore bench-replication bench-scale bench-lazy scenarios check vet race fuzz chaos chaos-incremental chaos-replication chaos-sharded chaos-lazy
 
 all: build test
 
@@ -53,6 +53,15 @@ bench-replication:
 # detect p99 exceeds 2x the 1k-node p99.
 bench-scale:
 	$(GO) run ./cmd/crbench -bench8 BENCH_8.json
+
+# Lazy-restore bench (experiment E19): time-to-first-instruction of the
+# restart-before-read failover vs the eager full restore of the same
+# 16-delta chain across replay widths, plus lazy-vs-eager cluster
+# failover twins on the same fault schedule. Exits nonzero unless TTFI
+# stays at or below 0.25x the eager restore with the drained memory
+# image byte-identical to the eager one at every width.
+bench-lazy:
+	$(GO) run ./cmd/crbench -bench9 BENCH_9.json
 
 # The declarative scenario-validation suite's CI subset: every fast
 # catalog scenario (64..1000 nodes, faulty digests, whole-shard
@@ -104,4 +113,13 @@ chaos-replication:
 chaos-sharded:
 	$(GO) run ./cmd/crsurvey chaos -seeds 80 -sharded
 
-check: build vet race fuzz scenarios chaos-replication chaos-sharded
+# Lazy-restore sweep: restart-before-read failover forced on every seed,
+# so demand faults, background prefetch, settle-before-capture, and the
+# lazy self-fencing path run under the full chaos fault palette. The
+# digest checker makes every seed a lazy-vs-eager equivalence proof: a
+# completed run's memory fingerprint must match the eager replay's (80
+# seeds here; the nightly run goes wider).
+chaos-lazy:
+	$(GO) run ./cmd/crsurvey chaos -seeds 80 -lazy
+
+check: build vet race fuzz scenarios chaos-replication chaos-sharded chaos-lazy

@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E18 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E19 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -28,6 +28,12 @@
 //	                   # detection and failover latency at 1k and 10k
 //	                   # nodes; gates the 1k→10k detect-p99 ratio at 2x)
 //	                   # as JSON
+//	crbench -bench9 BENCH_9.json
+//	                   # write the E19 lazy-restore bench (time-to-first-
+//	                   # instruction vs eager full restore of a 16-delta
+//	                   # chain, drained-digest equivalence, lazy-vs-eager
+//	                   # cluster failover twins; gates TTFI <= 0.25x eager
+//	                   # with byte-identical memory) as JSON
 package main
 
 import (
@@ -50,7 +56,34 @@ func main() {
 	bench6 := flag.String("bench6", "", "write the E16 restore bench to this JSON file and exit")
 	bench7 := flag.String("bench7", "", "write the E17 replication bench to this JSON file and exit")
 	bench8 := flag.String("bench8", "", "write the E18 fleet-scale bench to this JSON file and exit")
+	bench9 := flag.String("bench9", "", "write the E19 lazy-restore bench to this JSON file and exit")
 	flag.Parse()
+
+	if *bench9 != "" {
+		s := experiments.E19Bench(*quick)
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*bench9, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		for _, p := range s.Points {
+			fmt.Printf("w=%d: eager %.2f ms, ttfi %.2f ms (%.2fx), drained %.2f ms, digest==eager %v\n",
+				p.Workers, p.EagerMs, p.TTFIMs, p.VsEager, p.DrainedMs, p.DigestMatch)
+		}
+		fmt.Printf("cluster twins: eager restore p50 %.2f ms vs lazy first-instr p50 %.2f ms (%d lazy restores, %d faults served, %d prefetched); fingerprints match=%v\n",
+			s.Eager.RestoreP50Ms, s.Lazy.FirstInstrP50Ms,
+			s.Lazy.LazyRestores, s.Lazy.FaultsServed, s.Lazy.Prefetched, s.FingerprintsMatch)
+		fmt.Println("wrote", *bench9)
+		if !s.GatePass {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench8 != "" {
 		s := experiments.E18Bench(*quick)
@@ -181,8 +214,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 18 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..18)\n", part)
+			if err != nil || n < 1 || n > 19 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..19)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -229,6 +262,7 @@ func main() {
 		{16, func() *trace.Table { return experiments.E16Restore(*quick) }},
 		{17, func() *trace.Table { return experiments.E17Replication(*quick) }},
 		{18, func() *trace.Table { return experiments.E18Scale(*quick) }},
+		{19, func() *trace.Table { return experiments.E19Lazy(*quick) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

@@ -21,6 +21,8 @@
 //	crsurvey chaos -replication -seeds 200  # replicated placement forced on: buddy
 //	                                        # mirrors everywhere, 2+1 erasure where the
 //	                                        # cluster is wide enough (repl invariants)
+//	crsurvey chaos -lazy -seeds 200         # lazy restart-before-read failover forced on
+//	                                        # (digest must match eager restore at every seed)
 //	crsurvey chaos -sharded -seeds 200      # sharded digest detection forced on wherever
 //	                                        # the cluster is wide enough (aggregator
 //	                                        # failover under chaos)
@@ -101,6 +103,7 @@ func chaosMain(args []string) {
 	incremental := fs.Bool("incremental", false, "force delta-chain shipping on every spec (chain-invariant sweep)")
 	replication := fs.Bool("replication", false, "force replicated placement on every spec (replication-invariant sweep)")
 	sharded := fs.Bool("sharded", false, "force sharded digest detection on every spec wide enough for it")
+	lazy := fs.Bool("lazy", false, "force lazy restart-before-read failover on every spec (digest-equivalence sweep)")
 	replay := fs.Int64("replay", 0, "replay one seed instead of sweeping")
 	spec := fs.String("spec", "", "replay this spec JSON (from a printed replay line) instead of regenerating from the seed")
 	shrink := fs.Bool("shrink", false, "shrink a violating replay to a minimal reproducer")
@@ -136,6 +139,13 @@ func chaosMain(args []string) {
 		// failover and digest loss on all eligible seeds.
 		if *sharded && sp.Shards == 0 && sp.Workers() >= 4 {
 			sp.Shards = 2
+		}
+		// -lazy forces restart-before-read failover on every spec, so a
+		// sweep proves the digest invariant — post-restore state identical
+		// to an eager restore — at every seed, not just the half the
+		// generator picks.
+		if *lazy {
+			sp.LazyRestore = true
 		}
 	}
 

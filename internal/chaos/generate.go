@@ -164,5 +164,13 @@ func Generate(seed int64) *Spec {
 	if workers >= 4 && rng.Float64() < 0.25 {
 		sp.Shards = 2
 	}
+
+	// Lazy restart-before-read failover on about half the seeds. Drawn
+	// last, after Shards, so earlier replay lines reproduce unchanged;
+	// the digest checker then proves every lazy failover left memory
+	// byte-identical to an eager restore's.
+	if rng.Float64() < 0.5 {
+		sp.LazyRestore = true
+	}
 	return sp
 }

@@ -119,6 +119,7 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 		Incremental:  sp.Incremental,
 		RebaseEvery:  sp.RebaseEvery,
 		CompactAfter: sp.CompactAfter,
+		LazyRestore:  sp.LazyRestore,
 		Detector:     mon,
 		ControlNode:  sp.observer(),
 		NoFencing:    sp.NoFencing,

@@ -127,6 +127,15 @@ type Spec struct {
 	DataShards   int `json:"rs_k,omitempty"`
 	ParityShards int `json:"rs_m,omitempty"`
 
+	// LazyRestore switches failover to the restart-before-read path:
+	// only the leaf image is read before the job resumes, the rest
+	// materializes on demand. False keeps eager restores, and is the
+	// default for replay lines predating lazy restore. The digest
+	// checker enforces that the completed run's fingerprint matches the
+	// fault-free oracle, so a lazy seed proves byte-equivalence with
+	// eager restore at every failover.
+	LazyRestore bool `json:"lazy,omitempty"`
+
 	// Shards, when >= 2, routes failure detection through the sharded
 	// digest path: workers heartbeat to per-shard aggregator nodes and
 	// the observer ingests one digest per shard per period
@@ -185,6 +194,9 @@ func (sp *Spec) Size() int {
 		n++
 	}
 	if sp.Shards != 0 {
+		n++
+	}
+	if sp.LazyRestore {
 		n++
 	}
 	return n

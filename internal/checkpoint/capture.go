@@ -137,6 +137,13 @@ func Capture(req Request) (*Image, Stats, error) {
 			}
 		}
 		for _, r := range vranges {
+			if r.Length == 0 {
+				// A zero-length tracker range would become an empty
+				// extent, which Verify rejects — trackers shouldn't
+				// produce them, but a capture must not turn one into an
+				// unpublishable image.
+				continue
+			}
 			if workers > 1 {
 				// Sharded capture: allocate the extent now, fill it from a
 				// worker after the section walk.

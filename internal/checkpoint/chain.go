@@ -62,21 +62,35 @@ func (t *CarryTracker) Close() {
 }
 
 // mergeRanges returns the union of two page-granular range sets as
-// sorted, coalesced, non-overlapping ranges (the shape Capture expects).
-// It coalesces intervals directly — the earlier implementation expanded
-// every range to individual page numbers first, an O(bytes/page)
-// allocation that made carrying a large failed delta (exactly the
-// storage-fault retry path) far more expensive than shipping it.
+// sorted, coalesced, non-overlapping, non-empty ranges (the shape
+// Capture expects). It coalesces intervals directly — the earlier
+// implementation expanded every range to individual page numbers first,
+// an O(bytes/page) allocation that made carrying a large failed delta
+// (exactly the storage-fault retry path) far more expensive than
+// shipping it.
+//
+// Zero-length ranges are dropped on every path: the earlier code's
+// early returns passed one input through unfiltered and the merge loop
+// absorbed empty ranges adjacent to real ones while keeping standalone
+// ones, so whether an empty range survived depended on what it happened
+// to sit next to. A surviving empty range became an empty image extent,
+// which Verify rejects and the replay planner silently skips — the same
+// chain accepted or refused depending on merge order.
 func mergeRanges(a, b []Range) []Range {
-	if len(a) == 0 {
-		return b
-	}
-	if len(b) == 0 {
-		return a
-	}
 	rs := make([]Range, 0, len(a)+len(b))
-	rs = append(rs, a...)
-	rs = append(rs, b...)
+	for _, r := range a {
+		if r.Length > 0 {
+			rs = append(rs, r)
+		}
+	}
+	for _, r := range b {
+		if r.Length > 0 {
+			rs = append(rs, r)
+		}
+	}
+	if len(rs) == 0 {
+		return nil
+	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Addr < rs[j].Addr })
 	out := rs[:1]
 	for _, r := range rs[1:] {

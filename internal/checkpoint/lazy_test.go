@@ -1,0 +1,460 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/simos/mem"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// lazyFromChain loads the chain behind leaf, then performs a lazy
+// restore of it on a fresh machine: the leaf applied eagerly, every
+// ancestor byte deferred behind the demand-fill hook.
+func lazyFromChain(t *testing.T, remote storage.Target, leafName string, workers int, fenced func() bool) (*LazySession, *memProc, []*Image) {
+	t.Helper()
+	chain, err := LoadChain(remote, storage.NopEnv(), leafName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(chain))
+	for i, img := range chain {
+		names[i] = img.ObjectName()
+	}
+	prog := workload.Sparse{MiB: 2, WriteFrac: 0.15, Seed: 42}
+	dst := newMachine(fmt.Sprintf("lazy%d", workers), prog)
+	p, sess, err := LazyRestore(dst, chain[len(chain)-1], LazyOptions{
+		RestoreOptions: RestoreOptions{Parallelism: workers},
+		Source:         remote,
+		Ancestors:      names[:len(names)-1],
+		Fenced:         fenced,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, &memProc{p.AS}, chain
+}
+
+// memProc narrows the restored process to its address space.
+type memProc struct{ AS *mem.AddressSpace }
+
+// eagerChecksum restores the same chain eagerly and returns its digest.
+func eagerChecksum(t *testing.T, remote storage.Target, leafName string, workers int) uint64 {
+	t.Helper()
+	chain, err := LoadChain(remote, storage.NopEnv(), leafName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.Sparse{MiB: 2, WriteFrac: 0.15, Seed: 42}
+	dst := newMachine(fmt.Sprintf("eager%d", workers), prog)
+	p, err := Restore(dst, chain, RestoreOptions{Parallelism: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.AS.Checksum()
+}
+
+// TestLazyRestoreDigestMatchesEager drains a lazy restore at several
+// worker widths and demands the settled memory image be byte-identical
+// to an eager restore of the same chain — both paths execute the same
+// last-writer-wins plan, so width and laziness may only change
+// simulated time, never a byte.
+func TestLazyRestoreDigestMatchesEager(t *testing.T) {
+	remote, leaf := buildTestChain(t)
+	want := eagerChecksum(t, remote, leaf, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		if got := eagerChecksum(t, remote, leaf, workers); got != want {
+			t.Fatalf("eager workers=%d checksum %#x != %#x", workers, got, want)
+		}
+		sess, p, _ := lazyFromChain(t, remote, leaf, workers, nil)
+		if err := sess.DrainAll(); err != nil {
+			t.Fatalf("workers=%d: DrainAll: %v", workers, err)
+		}
+		if !sess.Done() {
+			t.Fatalf("workers=%d: DrainAll left %d pending", workers, sess.Pending())
+		}
+		st := sess.Stats()
+		if st.FaultsServed != 0 {
+			t.Fatalf("workers=%d: %d faults on a pure drain", workers, st.FaultsServed)
+		}
+		sess.Close()
+		if got := p.AS.Checksum(); got != want {
+			t.Fatalf("workers=%d: drained lazy checksum %#x != eager %#x", workers, got, want)
+		}
+	}
+}
+
+// TestLazyDemandFaultsDrainViaAccess touches every mapped page through
+// the kernel-mode read path instead of the prefetcher: each first touch
+// must fault exactly once into the session, and the fully-touched image
+// must again match the eager restore.
+func TestLazyDemandFaultsDrainViaAccess(t *testing.T) {
+	remote, leaf := buildTestChain(t)
+	want := eagerChecksum(t, remote, leaf, 1)
+	sess, p, chain := lazyFromChain(t, remote, leaf, 1, nil)
+	pending := sess.Pending()
+	if pending == 0 {
+		t.Fatal("lazy restore deferred nothing; chain too shallow for the test")
+	}
+
+	buf := make([]byte, mem.PageSize)
+	leafImg := chain[len(chain)-1]
+	for _, v := range leafImg.VMAs {
+		for off := 0; off < int(v.Length); off += mem.PageSize {
+			if err := p.AS.ReadDirect(v.Start+mem.Addr(off), buf); err != nil {
+				t.Fatalf("ReadDirect %#x: %v", uint64(v.Start)+uint64(off), err)
+			}
+		}
+	}
+	if !sess.Done() {
+		t.Fatalf("touched every page but %d still pending", sess.Pending())
+	}
+	st := sess.Stats()
+	if st.FaultsServed != pending {
+		t.Fatalf("served %d faults, want %d (every pending page exactly once)", st.FaultsServed, pending)
+	}
+	if st.Prefetched != 0 {
+		t.Fatalf("prefetched %d pages with no prefetcher running", st.Prefetched)
+	}
+	sess.Close()
+	if got := p.AS.Checksum(); got != want {
+		t.Fatalf("fault-drained checksum %#x != eager %#x", got, want)
+	}
+}
+
+// TestLazyAbortSelfFences: an aborted session must fail every later
+// access of a still-pending page instead of serving state — a stale
+// incarnation faults, it does not silently read zeroes or stale bytes.
+func TestLazyAbortSelfFences(t *testing.T) {
+	remote, leaf := buildTestChain(t)
+	sess, p, chain := lazyFromChain(t, remote, leaf, 1, nil)
+	if sess.Pending() == 0 {
+		t.Fatal("no pending pages to abort")
+	}
+	sess.Abort(nil)
+
+	buf := make([]byte, mem.PageSize)
+	leafImg := chain[len(chain)-1]
+	var faulted bool
+	for _, v := range leafImg.VMAs {
+		for off := 0; off < int(v.Length); off += mem.PageSize {
+			if err := p.AS.ReadDirect(v.Start+mem.Addr(off), buf); err != nil {
+				if !errors.Is(err, ErrLazyAborted) {
+					t.Fatalf("aborted access err = %v, want ErrLazyAborted", err)
+				}
+				faulted = true
+			}
+		}
+	}
+	if !faulted {
+		t.Fatal("no access failed after Abort")
+	}
+	if _, err := sess.Prefetch(1); !errors.Is(err, ErrLazyAborted) {
+		t.Fatalf("Prefetch after Abort err = %v, want ErrLazyAborted", err)
+	}
+}
+
+// TestLazyFenceAdvanceAborts: the Fenced callback turning true
+// mid-restore (the node's epoch was superseded) must poison the session
+// on the next fill, and the poisoning must stick even after the fence
+// reads false again — supersession is not transient.
+func TestLazyFenceAdvanceAborts(t *testing.T) {
+	var fenced atomic.Bool
+	remote, leaf := buildTestChain(t)
+	sess, _, _ := lazyFromChain(t, remote, leaf, 1, func() bool { return fenced.Load() })
+
+	if _, err := sess.Prefetch(1); err != nil {
+		t.Fatalf("prefetch before fence advance: %v", err)
+	}
+	fenced.Store(true)
+	if _, err := sess.Prefetch(1); !errors.Is(err, ErrLazyAborted) {
+		t.Fatalf("prefetch after fence advance err = %v, want ErrLazyAborted", err)
+	}
+	fenced.Store(false)
+	if _, err := sess.Prefetch(1); !errors.Is(err, ErrLazyAborted) {
+		t.Fatalf("abort did not stick after fence flapped back: %v", err)
+	}
+}
+
+// TestLazyConcurrentDrainRace races background prefetchers against
+// concurrent demand faults (claim-then-serve, exactly the hook's
+// protocol) and a stats poller. Every pending page must be served
+// exactly once — the pending-set claim is the only arbiter — and the
+// drained image must still match the eager restore. Run with -race.
+func TestLazyConcurrentDrainRace(t *testing.T) {
+	remote, leaf := buildTestChain(t)
+	want := eagerChecksum(t, remote, leaf, 1)
+	sess, p, chain := lazyFromChain(t, remote, leaf, 4, nil)
+	pending := sess.Pending()
+	if pending == 0 {
+		t.Fatal("nothing pending; race test is vacuous")
+	}
+
+	var pages []mem.PageNum
+	leafImg := chain[len(chain)-1]
+	for _, v := range leafImg.VMAs {
+		for pn := v.Start.Page(); pn < (v.Start + mem.Addr(v.Length)).Page(); pn++ {
+			pages = append(pages, pn)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n, err := sess.Prefetch(4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n == 0 {
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			order := rng.Perm(len(pages))
+			// A demand fault's exact protocol: claim the page from the
+			// pending set, then serve it through the session.
+			for _, i := range order {
+				pn := pages[i]
+				if !p.AS.TakePendingFill(pn) {
+					continue
+				}
+				if err := sess.serve(pn, false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = sess.Stats()
+			_ = sess.Pending()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if err := sess.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if total := st.FaultsServed + st.Prefetched; total != pending {
+		t.Fatalf("served %d pages (faults %d + prefetched %d), want exactly %d — a page was double-served or lost",
+			total, st.FaultsServed, st.Prefetched, pending)
+	}
+	sess.Close()
+	if got := p.AS.Checksum(); got != want {
+		t.Fatalf("concurrently drained checksum %#x != eager %#x", got, want)
+	}
+}
+
+// TestLazyConcurrentAbortRace aborts the session while prefetchers are
+// mid-drain (the mid-restore node-failure analogue): every goroutine
+// must stop with ErrLazyAborted or a clean batch end, never panic or
+// serve past the abort. Run with -race.
+func TestLazyConcurrentAbortRace(t *testing.T) {
+	remote, leaf := buildTestChain(t)
+	sess, _, _ := lazyFromChain(t, remote, leaf, 2, nil)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				n, err := sess.Prefetch(2)
+				if err != nil {
+					if !errors.Is(err, ErrLazyAborted) {
+						t.Errorf("prefetch err = %v, want ErrLazyAborted", err)
+					}
+					return
+				}
+				if n == 0 {
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		sess.Abort(nil)
+	}()
+	close(start)
+	wg.Wait()
+	if _, err := sess.Prefetch(1); !errors.Is(err, ErrLazyAborted) {
+		t.Fatalf("post-abort Prefetch err = %v, want ErrLazyAborted", err)
+	}
+}
+
+// TestMergeRangesProperty fuzzes mergeRanges with random range sets —
+// zero-length ranges mixed in on both sides — and checks the output
+// contract Capture depends on: sorted, coalesced, non-overlapping,
+// non-empty, and exactly the byte-union of the non-empty inputs. This
+// is the merge half of the shared satellite audit: before the fix,
+// whether an empty range survived depended on what it sat next to.
+func TestMergeRangesProperty(t *testing.T) {
+	const page = mem.PageSize
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		randSet := func() []Range {
+			n := rng.Intn(6)
+			rs := make([]Range, 0, n)
+			for i := 0; i < n; i++ {
+				length := rng.Intn(4) * page // 0 is a valid draw: empty range
+				rs = append(rs, Range{
+					Addr:   mem.Addr(rng.Intn(16) * page),
+					Length: length,
+				})
+			}
+			return rs
+		}
+		a, b := randSet(), randSet()
+		got := mergeRanges(a, b)
+
+		// Model: the byte union of all non-empty inputs.
+		want := map[mem.Addr]bool{}
+		for _, rs := range [][]Range{a, b} {
+			for _, r := range rs {
+				for o := 0; o < r.Length; o += page {
+					want[r.Addr+mem.Addr(o)] = true
+				}
+			}
+		}
+		covered := map[mem.Addr]bool{}
+		for i, r := range got {
+			if r.Length <= 0 {
+				t.Fatalf("seed %d: empty range %+v survived the merge", seed, r)
+			}
+			if i > 0 {
+				prev := got[i-1]
+				if r.Addr < prev.Addr+mem.Addr(prev.Length) {
+					t.Fatalf("seed %d: ranges %+v and %+v overlap or are unsorted", seed, prev, r)
+				}
+				if r.Addr == prev.Addr+mem.Addr(prev.Length) {
+					t.Fatalf("seed %d: adjacent ranges %+v and %+v not coalesced", seed, prev, r)
+				}
+			}
+			for o := 0; o < r.Length; o += page {
+				covered[r.Addr+mem.Addr(o)] = true
+			}
+		}
+		if len(covered) != len(want) {
+			t.Fatalf("seed %d: merged union has %d pages, want %d", seed, len(covered), len(want))
+		}
+		for a := range want {
+			if !covered[a] {
+				t.Fatalf("seed %d: page %#x lost in merge", seed, uint64(a))
+			}
+		}
+	}
+}
+
+// TestReplayPlanMatchesEagerFold is the replay half of the shared
+// satellite audit: random chains — overlapping sub-page extents,
+// zero-length extents, full-page overwrites — resolved through
+// planReplay and applied at several widths must reproduce the naive
+// oldest-first fold byte for byte, and the planner's accounting must
+// balance (copied + pruned == every mapped non-empty input byte).
+func TestReplayPlanMatchesEagerFold(t *testing.T) {
+	const (
+		start = mem.Addr(0x10000)
+		pages = 8
+		size  = pages * mem.PageSize
+	)
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+
+		// Random chain: one full head plus 1..4 deltas over one VMA.
+		links := 2 + rng.Intn(4)
+		chain := make([]*Image, 0, links)
+		fold := make([]byte, size) // the eager model: apply oldest-first
+		total := 0
+		var parent string
+		for li := 0; li < links; li++ {
+			var exts []Extent
+			for e := 0; e < 1+rng.Intn(5); e++ {
+				var length int
+				switch rng.Intn(4) {
+				case 0:
+					length = 0 // zero-length: must be skipped consistently
+				case 1:
+					length = mem.PageSize // exact page overwrite
+				default:
+					length = 1 + rng.Intn(2*mem.PageSize) // sub-page / straddling
+				}
+				off := rng.Intn(size - length + 1)
+				data := make([]byte, length)
+				for i := range data {
+					data[i] = byte(rng.Intn(256))
+				}
+				exts = append(exts, Extent{Addr: start + mem.Addr(off), Data: data})
+				copy(fold[off:], data)
+				total += length
+			}
+			img := &Image{
+				Mode: ModeIncremental, PID: 1, Seq: uint64(li + 1), Exe: "x",
+				Parent: parent,
+				VMAs: []VMASection{{Start: start, Length: size, Kind: mem.KindHeap,
+					Extents: exts}},
+			}
+			if li == 0 {
+				img.Mode = ModeFull
+				img.Parent = ""
+			}
+			parent = img.ObjectName()
+			chain = append(chain, img)
+		}
+
+		plan, err := planReplay(chain)
+		if err != nil {
+			t.Fatalf("seed %d: planReplay: %v", seed, err)
+		}
+		if plan.copied+plan.pruned != total {
+			t.Fatalf("seed %d: copied %d + pruned %d != input bytes %d",
+				seed, plan.copied, plan.pruned, total)
+		}
+		for _, workers := range []int{1, 4} {
+			as := mem.NewAddressSpace()
+			if _, err := as.Map(start, size, mem.ProtRW, mem.KindHeap, ""); err != nil {
+				t.Fatal(err)
+			}
+			if err := applyPlan(as, &plan, workers); err != nil {
+				t.Fatalf("seed %d workers %d: applyPlan: %v", seed, workers, err)
+			}
+			got := make([]byte, size)
+			if err := as.ReadDirect(start, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != fold[i] {
+					t.Fatalf("seed %d workers %d: byte %#x = %#x, eager fold has %#x",
+						seed, workers, uint64(start)+uint64(i), got[i], fold[i])
+				}
+			}
+		}
+	}
+}

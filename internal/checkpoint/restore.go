@@ -155,28 +155,27 @@ func LoadChainManifest(t storage.Target, env *storage.Env, objects []string) ([]
 	return chain, nil
 }
 
-// Restore rebuilds a process on k from an image chain (oldest-first; a
-// single full image is a chain of one). The most recent image defines the
-// memory layout, registers, descriptors and signal state; extents are
-// applied oldest-first so later deltas overwrite earlier data.
-func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Process, error) {
-	if len(chain) == 0 {
-		return nil, errors.New("checkpoint: empty image chain")
-	}
-	if chain[0].Mode != ModeFull {
-		return nil, ErrNeedsChain
-	}
-	leaf := chain[len(chain)-1]
+// checkChainLinks verifies the parent links of an oldest-first chain.
+func checkChainLinks(chain []*Image) error {
 	for i := 1; i < len(chain); i++ {
 		if chain[i].Parent != chain[i-1].ObjectName() {
-			return nil, fmt.Errorf("checkpoint: broken chain at %s (parent %q, want %q)",
+			return fmt.Errorf("checkpoint: broken chain at %s (parent %q, want %q)",
 				chain[i].ObjectName(), chain[i].Parent, chain[i-1].ObjectName())
 		}
 	}
+	return nil
+}
 
+// restoreSkeleton rebuilds everything of a process except its memory
+// contents from the leaf image: identity (PID mode), args, and the VMA
+// layout. The returned cleanup undoes the process-table insertion;
+// callers invoke it on any later failure. Shared between the eager
+// Restore and LazyRestore, which differ only in when the contents of the
+// mapped pages arrive.
+func restoreSkeleton(k *kernel.Kernel, leaf *Image, opt RestoreOptions) (*proc.Process, func(), error) {
 	// The program must exist on the target machine.
 	if _, err := k.Registry.Lookup(leaf.Exe); err != nil {
-		return nil, fmt.Errorf("checkpoint: restore: %w", err)
+		return nil, nil, fmt.Errorf("checkpoint: restore: %w", err)
 	}
 
 	var p *proc.Process
@@ -184,7 +183,7 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 	case opt.PreservePID:
 		p = proc.New(leaf.PID, leaf.PPID, leaf.Exe)
 		if err := k.Procs.Insert(p); err != nil {
-			return nil, fmt.Errorf("checkpoint: restore with original pid: %w", err)
+			return nil, nil, fmt.Errorf("checkpoint: restore with original pid: %w", err)
 		}
 	case opt.VirtualizePID:
 		p = k.Procs.Allocate(leaf.PPID, leaf.Exe)
@@ -209,8 +208,30 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 		}
 		if _, err := p.AS.Map(v.Start, v.Length, prot, v.Kind, v.Name); err != nil {
 			cleanup()
-			return nil, fmt.Errorf("checkpoint: restore map: %w", err)
+			return nil, nil, fmt.Errorf("checkpoint: restore map: %w", err)
 		}
+	}
+	return p, cleanup, nil
+}
+
+// Restore rebuilds a process on k from an image chain (oldest-first; a
+// single full image is a chain of one). The most recent image defines the
+// memory layout, registers, descriptors and signal state; extents are
+// applied oldest-first so later deltas overwrite earlier data.
+func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Process, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("checkpoint: empty image chain")
+	}
+	if chain[0].Mode != ModeFull {
+		return nil, ErrNeedsChain
+	}
+	leaf := chain[len(chain)-1]
+	if err := checkChainLinks(chain); err != nil {
+		return nil, err
+	}
+	p, cleanup, err := restoreSkeleton(k, leaf, opt)
+	if err != nil {
+		return nil, err
 	}
 	// Contents oldest-first, resolved to per-page last-writer-wins jobs
 	// before any byte moves. Extents of VMAs that no longer exist in the
@@ -252,10 +273,21 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 		c.Inc("restore.bytes_pruned", int64(plan.pruned))
 		c.Inc("restore.workers", int64(workers))
 	}
+	if err := finishRestore(k, p, leaf, opt); err != nil {
+		cleanup()
+		return nil, err
+	}
+	return p, nil
+}
+
+// finishRestore completes a restore after the memory phase: heap break,
+// threads and registers, kernel-persistent state, descriptors, signal
+// state, and scheduling. Shared between Restore and LazyRestore; the
+// caller runs its cleanup on error.
+func finishRestore(k *kernel.Kernel, p *proc.Process, leaf *Image, opt RestoreOptions) error {
 	if leaf.Brk != 0 {
 		if err := p.AS.SetBrk(leaf.Brk); err != nil {
-			cleanup()
-			return nil, fmt.Errorf("checkpoint: restore brk: %w", err)
+			return fmt.Errorf("checkpoint: restore brk: %w", err)
 		}
 	}
 
@@ -265,8 +297,7 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 		p.Threads = append(p.Threads, &proc.Thread{TID: t.TID, Regs: t.Regs})
 	}
 	if len(p.Threads) == 0 {
-		cleanup()
-		return nil, errors.New("checkpoint: image has no threads")
+		return errors.New("checkpoint: image has no threads")
 	}
 
 	// Kernel-persistent state first, so descriptor and segment recreation
@@ -274,8 +305,7 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 	if opt.RecreateKernelState {
 		for _, s := range leaf.Sockets {
 			if err := k.RecreateSocket(s.ID, p.PID, s.Peer); err != nil {
-				cleanup()
-				return nil, fmt.Errorf("checkpoint: restore socket: %w", err)
+				return fmt.Errorf("checkpoint: restore socket: %w", err)
 			}
 		}
 		for key, data := range leaf.Shm {
@@ -287,27 +317,23 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 	for _, f := range leaf.FDs {
 		if f.Deleted {
 			if !opt.RestoreDeletedFiles || f.Contents == nil {
-				cleanup()
-				return nil, fmt.Errorf("checkpoint: fd %d refers to deleted %s and contents are not available", f.FD, f.Path)
+				return fmt.Errorf("checkpoint: fd %d refers to deleted %s and contents are not available", f.FD, f.Path)
 			}
 			// WriteFile itself cannot fail, but it would silently replace
 			// whatever now lives at the path — recreating an unlinked
 			// file over a device node is never what the image meant.
 			if n, lerr := k.FS.Lookup(f.Path); lerr == nil && n.Kind != fs.KindRegular {
-				cleanup()
-				return nil, fmt.Errorf("checkpoint: restore fd %d: recreate deleted %s: path now holds a %s node",
+				return fmt.Errorf("checkpoint: restore fd %d: recreate deleted %s: path now holds a %s node",
 					f.FD, f.Path, n.Kind)
 			}
 			k.FS.WriteFile(f.Path, f.Contents)
 		}
 		of, err := k.FS.Open(f.Path, f.Flags&^fs.OAppend)
 		if err != nil {
-			cleanup()
-			return nil, fmt.Errorf("checkpoint: restore fd %d: %w", f.FD, err)
+			return fmt.Errorf("checkpoint: restore fd %d: %w", f.FD, err)
 		}
 		if err := of.SeekTo(f.Offset); err != nil {
-			cleanup()
-			return nil, fmt.Errorf("checkpoint: restore fd %d: seek %s to offset %d: %w", f.FD, f.Path, f.Offset, err)
+			return fmt.Errorf("checkpoint: restore fd %d: seek %s to offset %d: %w", f.FD, f.Path, f.Offset, err)
 		}
 		p.InstallFDAt(f.FD, of)
 	}
@@ -317,8 +343,7 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 		switch d.Kind {
 		case DispIgnore:
 			if err := p.Sig.Ignore(d.Sig); err != nil {
-				cleanup()
-				return nil, err
+				return err
 			}
 		case DispHandler:
 			h := leaf.handlers[d.Sig]
@@ -332,8 +357,7 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 				continue
 			}
 			if err := p.Sig.SetHandler(d.Sig, h); err != nil {
-				cleanup()
-				return nil, err
+				return err
 			}
 		}
 	}
@@ -349,5 +373,5 @@ func Restore(k *kernel.Kernel, chain []*Image, opt RestoreOptions) (*proc.Proces
 		p.State = proc.StateReady
 		k.Sched.Enqueue(p)
 	}
-	return p, nil
+	return nil
 }

@@ -64,6 +64,14 @@ func planReplay(chain []*Image) (replayPlan, error) {
 	for _, img := range chain {
 		for _, v := range img.VMAs {
 			for _, e := range v.Extents {
+				if len(e.Data) == 0 {
+					// Empty extents contribute no bytes. Skipping them
+					// explicitly (rather than letting the span loop fall
+					// through) keeps the planner consistent with
+					// mergeRanges, which now drops zero-length ranges on
+					// every path, and with Verify, which rejects them.
+					continue
+				}
 				if !mapped(e.Addr) {
 					continue // VMA unmapped since this delta: stale data
 				}

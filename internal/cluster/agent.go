@@ -67,6 +67,7 @@ func (s *Supervisor) armAgent(node int, pid proc.PID, epoch uint64) {
 // the compaction a long run leaks one dead agent per incarnation and
 // scans them all forever.
 func (s *Supervisor) pumpAgents() {
+	s.pumpLazy()
 	live := s.agents[:0]
 	for _, a := range s.agents {
 		a.pump()
@@ -149,6 +150,15 @@ func (a *ckptAgent) pump() {
 	if p.State == proc.StateZombie {
 		a.stop() // finished (or killed); nothing left to protect
 		return
+	}
+	if a.s.lazy != nil && a.s.lazy.epoch == a.epoch {
+		// This incarnation was lazy-restored and is still draining. A
+		// capture sees only resident pages — and the tracker's arm-time
+		// "everything resident" baseline has the same blind spot — so a
+		// checkpoint taken now would silently omit every still-pending
+		// page. Settle the session first; the capture below then sees the
+		// complete memory image, byte-identical to an eager restore's.
+		a.s.settleLazy()
 	}
 	m, err := a.s.mech(a.node)
 	if err != nil {
@@ -291,6 +301,10 @@ func (s *Supervisor) noteAckObject(a *ckptAgent, obj string, full bool,
 	s.lastLeaf = obj
 	s.emit(EvAck, a.node, a.epoch, obj)
 	if s.Incremental && len(retire) > 0 {
+		// GC is about to unlink superseded objects a draining lazy
+		// session may still need for its deferred plan read: settle it
+		// first (no-op when no session is live).
+		s.settleLazy()
 		s.retire(a, tgt, retire, obj)
 	}
 	if s.Incremental && !full {

@@ -29,6 +29,10 @@ func (s *Supervisor) maybeCompact(a *ckptAgent, tgt storage.Target) {
 	if s.CompactAfter <= 0 || len(s.chainObjs)-1 <= s.CompactAfter {
 		return
 	}
+	// Compaction retires the folded deltas — exactly the ancestors a
+	// draining lazy session would read for its deferred plan. Settle the
+	// session before the server mutates the chain (no-op when none).
+	s.settleLazy()
 	objs := append([]string(nil), s.chainObjs...)
 	st, err := storage.CompactChain(tgt, objs, checkpoint.FoldEncodedChain, nil)
 	if st.Folded == "" {

@@ -67,6 +67,12 @@ type FleetConfig struct {
 	// the deliberately-broken knob that must make the double-commit
 	// invariant fire in the scenario harness.
 	NoFencing bool
+
+	// LazyRestore marks every failover restore as restart-before-read:
+	// the EvRestore event carries a " lazy" object suffix and the shard
+	// counts fleet.lazy_restores, so scenario criteria can assert the
+	// lazy path was exercised fleet-wide.
+	LazyRestore bool
 }
 
 // withDefaults fills zero fields.

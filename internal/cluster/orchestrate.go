@@ -336,6 +336,13 @@ type Supervisor struct {
 	// width, or sequential without a pipeline). Restored memory is
 	// byte-identical at any width.
 	RestoreWorkers int
+	// LazyRestore switches autonomic failover to restart-before-read
+	// (see lazy.go): only the leaf image is read before the job resumes;
+	// the rest of the chain materializes on demand and via a background
+	// prefetcher. Requires a mechanism implementing
+	// mechanism.LazyRestarter; others fall back to eager restarts. The
+	// fully drained memory is byte-identical to an eager restore.
+	LazyRestore bool
 	// OracleReads counts decision-path reads of simulator ground truth
 	// (Alive / direct process-table inspection). Autonomic mode performs
 	// none: its tests assert this stays zero.
@@ -356,6 +363,7 @@ type Supervisor struct {
 	lastCkptDur simtime.Duration
 	agents      []*ckptAgent
 	repl        *replState // live replica placement (replication.go)
+	lazy        *lazyRun   // in-flight lazy restore session (lazy.go)
 
 	// Chain bookkeeping (incremental shipping). lastFull is the newest
 	// acked full image — the fallback anchor when the chain under
@@ -653,7 +661,7 @@ func (s *Supervisor) recover() error {
 	} else {
 		src = s.C.Node(spare).Remote()
 	}
-	chain, readWait := s.loadRecoveryChain(src)
+	chain, readWait := s.loadRecoveryChain(src, s.chainObjs)
 	if chain == nil {
 		// Nothing recoverable: start over (the paper's warning about
 		// local-only storage).
@@ -686,13 +694,20 @@ func (s *Supervisor) recover() error {
 // loadRecoveryChain fetches the newest restorable chain from src: the
 // full ancestry of lastLeaf, or — when a mid-chain image is torn or
 // lost — the chain of the last acked full image, the newest intact
-// ancestor the supervisor still holds a name for. Returns nil when
-// neither loads (scratch restart). readWait is the simulated storage
-// wait the successful load cost — the read half of the restore latency
-// observeRestore records.
-func (s *Supervisor) loadRecoveryChain(src storage.Target) (chain []*checkpoint.Image, readWait simtime.Duration) {
+// ancestor the supervisor still holds a name for. manifest is the
+// caller's snapshot of the chain's acked object names (recoverFenced
+// clears the live bookkeeping before loading, so it must snapshot
+// first). Returns nil when nothing loads (scratch restart). readWait is
+// the simulated storage wait recovery spent reading — accumulated
+// across attempts, because a failed manifest read or broken walk is
+// time the job actually waited before the load that finally worked.
+func (s *Supervisor) loadRecoveryChain(src storage.Target, manifest []string) (chain []*checkpoint.Image, readWait simtime.Duration) {
 	if s.lastLeaf == "" || src == nil || !src.Available() {
 		return nil, 0
+	}
+	var fenceEpoch uint64
+	if s.Fence != nil {
+		fenceEpoch = s.Fence.Epoch()
 	}
 	env := &storage.Env{Bill: costmodel.Discard{},
 		Wait: func(d simtime.Duration, _ string) { readWait += d }}
@@ -701,14 +716,13 @@ func (s *Supervisor) loadRecoveryChain(src storage.Target) (chain []*checkpoint.
 	// instead of a seek-per-link parent walk. Any mismatch between the
 	// manifest and what the store serves fails verification and drops to
 	// the walk below, which re-discovers ancestry from the images alone.
-	if n := len(s.chainObjs); n > 0 && s.chainObjs[n-1] == s.lastLeaf {
-		manifest := append([]string(nil), s.chainObjs...)
-		chain, err := checkpoint.LoadChainManifest(src, env, manifest)
+	if n := len(manifest); n > 0 && manifest[n-1] == s.lastLeaf {
+		m := append([]string(nil), manifest...)
+		chain, err := checkpoint.LoadChainManifest(src, env, m)
 		if err == nil {
 			s.Counters.Inc("restore.manifest_reads", 1)
 			return chain, readWait
 		}
-		readWait = 0
 	}
 	chain, err := checkpoint.LoadChain(src, env, s.lastLeaf)
 	if err == nil {
@@ -724,18 +738,48 @@ func (s *Supervisor) loadRecoveryChain(src storage.Target) (chain []*checkpoint.
 		// chain whose ancestor was wrongly garbage-collected).
 		s.Counters.Inc("ckpt.lost", 1)
 	}
+	// The manifest we tried may have been stale: a concurrent
+	// server-side compaction folds the chain into one full image under
+	// the leaf's own name and retires exactly the ancestors the attempts
+	// above chased. Re-read the live manifest — trusted only while the
+	// fence epoch is unchanged, since an epoch advance means another
+	// failover owns these pointers now — and retry the batched path
+	// before rewinding to lastFull, which would silently discard deltas
+	// that are still perfectly restorable.
+	if live := s.chainObjs; len(live) > 0 && live[len(live)-1] == s.lastLeaf &&
+		!sameManifest(live, manifest) &&
+		(s.Fence == nil || s.Fence.Epoch() == fenceEpoch) {
+		m := append([]string(nil), live...)
+		if chain, err2 := checkpoint.LoadChainManifest(src, env, m); err2 == nil {
+			s.Counters.Inc("restore.manifest_refresh", 1)
+			return chain, readWait
+		}
+	}
 	if s.lastFull == "" || s.lastFull == s.lastLeaf {
 		return nil, 0
 	}
 	// Torn-chain fallback: rewind the recovery pointer to the last full
 	// image. The deltas after it are lost, the job is not.
-	readWait = 0
 	chain, err = checkpoint.LoadChain(src, env, s.lastFull)
 	if err != nil {
 		return nil, 0
 	}
 	s.Counters.Inc("ckpt.chain_fallback", 1)
 	return chain, readWait
+}
+
+// sameManifest reports whether two chain manifests name the same
+// objects in the same order.
+func sameManifest(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // observeRestore records the modeled recovery latency of a successful
@@ -838,6 +882,10 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 			s.Completed = true
 			s.Fingerprint = st.Fingerprint
 			s.Makespan = s.C.Now().Sub(start)
+			// A lazy restore may still be draining: settle it so the final
+			// latency accounting lands and the run leaves no dangling
+			// demand-fill hook behind.
+			s.settleLazy()
 			// The final checkpoints may have acked between repair sweeps:
 			// flush redundancy so the chain the run leaves behind is fully
 			// replicated, not merely quorum-replicated.
@@ -859,6 +907,19 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 func (s *Supervisor) recoverFenced() error {
 	epoch := s.Fence.Advance()
 	s.emit(EvFailover, s.node, epoch, "")
+	if s.lazy != nil {
+		// A still-draining lazy restore belongs to the incarnation we
+		// just fenced off: poison it so the stale process faults instead
+		// of materializing more state.
+		s.failLazy(nil)
+	}
+	// Snapshot the chain manifest before the bookkeeping below clears
+	// it: the manifest is what makes the batched-read fast path (and the
+	// lazy restore's ancestor list) possible, and it describes exactly
+	// the chain this failover restores from. Clearing first made the
+	// fast path dead on every autonomic failover — recovery always paid
+	// the seek-per-link parent walk.
+	manifest := append([]string(nil), s.chainObjs...)
 	// The superseded incarnation's chain is still the recovery pointer's
 	// ancestry: it must survive on the server until the next
 	// incarnation's first full ack supersedes it. Queue it for retire —
@@ -873,7 +934,24 @@ func (s *Supervisor) recoverFenced() error {
 	// recoveryTarget reads through the placement the acked chain was
 	// written under; the new incarnation's first capture re-anchors
 	// placement at the spare afterwards.
-	chain, readWait := s.loadRecoveryChain(s.recoveryTarget(spare))
+	src := s.recoveryTarget(spare)
+	if s.LazyRestore {
+		p, ok, err := s.recoverLazy(src, spare, epoch, manifest)
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.Restarts++
+			s.node = spare
+			s.pid = p.PID
+			s.armAgent(spare, s.pid, epoch)
+			s.emit(EvAdmit, spare, epoch, "")
+			return nil
+		}
+		// Preconditions not met (no manifest, incapable mechanism,
+		// unreadable leaf): fall through to the eager path below.
+	}
+	chain, readWait := s.loadRecoveryChain(src, manifest)
 	s.Restarts++
 	if chain == nil {
 		s.FromScratch++

@@ -263,7 +263,16 @@ func (sh *shardSup) failover(now simtime.Time) {
 		job.node, job.epoch, job.tgt = cand, epoch, sh.writerTarget(epoch)
 		sh.emit(now, EvAdmit, cand, epoch, "")
 		if job.last != "" {
-			sh.emit(now, EvRestore, cand, epoch, job.last)
+			// The " lazy" marker rides in the event's Object field (the
+			// restored leaf's name stays the prefix); FleetViolations keys
+			// only off EvStaleCommit/EvAck/EvRetire objects, so the suffix
+			// is observable without disturbing any invariant.
+			if sh.root.cfg.LazyRestore {
+				sh.ctr.Inc("fleet.lazy_restores", 1)
+				sh.emit(now, EvRestore, cand, epoch, job.last+" lazy")
+			} else {
+				sh.emit(now, EvRestore, cand, epoch, job.last)
+			}
 		} else {
 			sh.emit(now, EvScratch, cand, epoch, "")
 		}

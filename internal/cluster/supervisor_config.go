@@ -57,6 +57,11 @@ type SupervisorConfig struct {
 	// RestoreWorkers shards chain replay on restarts (0 = follow the
 	// pipeline's capture width, else sequential).
 	RestoreWorkers int
+	// LazyRestore switches failover to restart-before-read: only the
+	// leaf image is read before the job resumes; remaining pages are
+	// served on demand and by a background prefetcher (see lazy.go).
+	// Autonomic mode only.
+	LazyRestore bool
 
 	// Counters defaults to the cluster's shared counter set. Metrics
 	// (latency histograms) defaults to a bundle sharing those counters.
@@ -118,6 +123,9 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.RestoreWorkers < 0 {
 		return nil, fmt.Errorf("cluster: NewSupervisor: negative RestoreWorkers %d", cfg.RestoreWorkers)
 	}
+	if cfg.LazyRestore && cfg.Detector == nil {
+		return nil, errors.New("cluster: NewSupervisor: LazyRestore requires a Detector (autonomic failover)")
+	}
 	if cfg.Pipeline != nil {
 		if err := cfg.Pipeline.validate(); err != nil {
 			return nil, err
@@ -153,6 +161,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		RebaseEvery:    cfg.RebaseEvery,
 		CompactAfter:   cfg.CompactAfter,
 		RestoreWorkers: cfg.RestoreWorkers,
+		LazyRestore:    cfg.LazyRestore,
 		Counters:       cfg.Counters,
 		Metrics:        cfg.Metrics,
 		Detector:       cfg.Detector,

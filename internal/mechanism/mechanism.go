@@ -113,6 +113,19 @@ type RestoreParallelizer interface {
 	SetRestoreParallelism(workers int)
 }
 
+// LazyRestarter is implemented by mechanisms whose restart path can
+// resume a process before the full chain is read: the leaf's hot working
+// set is applied eagerly, control returns, and the remaining pages are
+// served on demand (and by a background prefetcher) from the returned
+// session — checkpoint.LazyRestore's restart-before-read protocol.
+// Mechanisms without the method restart eagerly via Restart.
+type LazyRestarter interface {
+	// RestartLazy restores a process from the chain's leaf image alone,
+	// deferring ancestor reads to the returned session's demand-fault
+	// service. The mechanism applies its configured restore parallelism.
+	RestartLazy(k *kernel.Kernel, leaf *checkpoint.Image, opt checkpoint.LazyOptions) (*proc.Process, *checkpoint.LazySession, error)
+}
+
 // ErrUnsupported is returned when a mechanism cannot handle the process
 // (e.g. a single-threaded-only checkpointer asked to capture threads).
 var ErrUnsupported = errors.New("mechanism: unsupported process")

@@ -149,6 +149,27 @@ func Catalog() []Scenario {
 			},
 		},
 		{
+			// Restart-before-read failover across a mid-sized fleet: every
+			// restore takes the lazy path, and the floor proves the path
+			// actually fired under the same fault pressure as smoke-64.
+			Name: "lazy-restore-128",
+			Fast: true,
+			Config: cluster.FleetConfig{
+				Nodes: 128, Shards: 16, Jobs: 32, Seed: 404,
+				LazyRestore: true,
+			},
+			Faults:   staggeredFaults(128, 6, 100),
+			Duration: 150 * ms,
+			Criteria: Criteria{
+				MinEventsPerSec: 500,
+				MaxDetectP99Ms:  10,
+				MinDetections:   6,
+				MinCheckpoints:  100,
+				MinLazyRestores: 1,
+				MaxTimers:       16,
+			},
+		},
+		{
 			// Broken-build contrast: fencing disabled under a network
 			// lossy enough to force false suspicions. The harness passes
 			// only if the double-commit invariant FIRES — this is the

@@ -54,6 +54,10 @@ type Criteria struct {
 	// MaxTimers bounds the armed recurring-timer count (the per-shard
 	// digest-tick amortization: shards, not nodes).
 	MaxTimers int `json:"max_timers,omitempty"`
+	// MinLazyRestores is a floor on fleet.lazy_restores — a scenario
+	// with FleetConfig.LazyRestore that restores nothing through the
+	// restart-before-read path exercised nothing.
+	MinLazyRestores int64 `json:"min_lazy_restores,omitempty"`
 	// ExpectViolations lists invariants that MUST fire (broken-build
 	// scenarios such as fencing disabled). Any unlisted violation, or a
 	// listed one that fails to fire, fails the scenario.
@@ -162,6 +166,9 @@ func Run(sc Scenario) Result {
 	}
 	if c.MaxTimers > 0 && res.Stats.Timers > c.MaxTimers {
 		fail("armed timers %d above bound %d", res.Stats.Timers, c.MaxTimers)
+	}
+	if lazy := r.Counters().Get("fleet.lazy_restores"); lazy < c.MinLazyRestores {
+		fail("lazy restores %d below floor %d", lazy, c.MinLazyRestores)
 	}
 
 	res.Pass = len(res.Failures) == 0

@@ -257,6 +257,8 @@ type AddressSpace struct {
 	writeCount   uint64
 	bytesWritten uint64
 	versionClock uint64
+
+	lazy *lazyFill // demand-fill state for lazy restore (nil when eager)
 }
 
 // NewAddressSpace returns an empty address space with 64-byte line hooks.
@@ -350,6 +352,7 @@ func (as *AddressSpace) Unmap(start Addr) error {
 	for i, v := range as.vmas {
 		if v.Start == start {
 			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			as.dropPendingFill(v.Start, v.End())
 			return nil
 		}
 	}
@@ -411,12 +414,15 @@ func (as *AddressSpace) SetBrk(newBrk Addr) error {
 		}
 	}
 	if newEnd < heap.End() {
-		// Shrink: drop pages beyond the new end.
+		// Shrink: drop pages beyond the new end, including ones a lazy
+		// restore has not materialized yet — a later re-grow must see
+		// demand-zero pages, not resurrected checkpoint contents.
 		for pn := range heap.pages {
 			if pn.Base() >= newEnd {
 				delete(heap.pages, pn)
 			}
 		}
+		as.dropPendingFill(newEnd, heap.End())
 	}
 	heap.Length = uint64(newEnd - heap.Start)
 	as.brk = newBrk
@@ -503,6 +509,9 @@ func (as *AddressSpace) access(addr Addr, buf []byte, acc Access) error {
 		n := PageSize - a.Offset()
 		if rem := len(buf) - off; n > rem {
 			n = rem
+		}
+		if err := as.fillPending(pn); err != nil {
+			return err
 		}
 		pg := v.page(pn)
 		want := ProtRead
@@ -599,6 +608,9 @@ func (as *AddressSpace) ReadDirect(addr Addr, buf []byte) error {
 		if rem := len(buf) - off; n > rem {
 			n = rem
 		}
+		if err := as.fillPending(a.Page()); err != nil {
+			return err
+		}
 		pg := v.peek(a.Page())
 		if pg == nil || pg.data == nil {
 			zero(buf[off : off+n])
@@ -622,6 +634,9 @@ func (as *AddressSpace) WriteDirect(addr Addr, data []byte) error {
 		n := PageSize - a.Offset()
 		if rem := len(data) - off; n > rem {
 			n = rem
+		}
+		if err := as.fillPending(a.Page()); err != nil {
+			return err
 		}
 		pg := v.page(a.Page())
 		if pg.data == nil {
@@ -648,6 +663,9 @@ func (as *AddressSpace) PageBuffer(pn PageNum) ([]byte, error) {
 	v := as.Find(a)
 	if v == nil {
 		return nil, &Fault{Addr: a, Access: AccessWrite}
+	}
+	if err := as.fillPending(pn); err != nil {
+		return nil, err
 	}
 	pg := v.page(pn)
 	if pg.data == nil {
@@ -760,8 +778,8 @@ func isZero(b []byte) bool {
 }
 
 // Clone deep-copies the address space (fork, or fork-based consistent
-// checkpointing per the "Checkpoint" system [5]). Fault handlers and write
-// hooks are not inherited.
+// checkpointing per the "Checkpoint" system [5]). Fault handlers, write
+// hooks, and any armed demand-fill state are not inherited.
 func (as *AddressSpace) Clone() *AddressSpace {
 	n := NewAddressSpace()
 	n.brk = as.brk

@@ -132,6 +132,15 @@ func (m *threadMech) SetCaptureParallelism(workers int) { m.capturePar = workers
 // that many workers.
 func (m *threadMech) SetRestoreParallelism(workers int) { m.restorePar = workers }
 
+// RestartLazy implements mechanism.LazyRestarter for the whole
+// kernel-thread family: restart before read, with the family's
+// configured replay width applied to both the eager hot set and the
+// deferred plan.
+func (m *threadMech) RestartLazy(k *kernel.Kernel, leaf *checkpoint.Image, opt checkpoint.LazyOptions) (*proc.Process, *checkpoint.LazySession, error) {
+	opt.Parallelism = m.restorePar
+	return checkpoint.LazyRestore(k, leaf, opt)
+}
+
 // requestDelta is request with the chain knobs an orchestration layer
 // needs for incremental shipping: the caller's tracker supplies the
 // dirty ranges, epoch namespaces the object names by incarnation, and
