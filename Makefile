@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-ckpt bench-parallel bench-restore bench-replication bench-scale bench-lazy scenarios check vet race fuzz chaos chaos-incremental chaos-replication chaos-sharded chaos-lazy
+.PHONY: all build test bench bench-ckpt bench-parallel bench-restore bench-replication bench-scale bench-lazy bench-policy scenarios check vet race fuzz chaos chaos-incremental chaos-replication chaos-sharded chaos-lazy chaos-policy
 
 all: build test
 
@@ -62,6 +62,16 @@ bench-scale:
 # image byte-identical to the eager one at every width.
 bench-lazy:
 	$(GO) run ./cmd/crbench -bench9 BENCH_9.json
+
+# Policy bench (experiment E20): the Young/Daly cadence engine vs a
+# fixed-interval twin on the same seeded fault schedule (total work lost
+# to failures), and the liveness content policy's delta chain vs a plain
+# write-protect twin (bytes shipped, restored live state byte-compared).
+# Exits nonzero unless youngdaly work-lost stays at or below 0.8x the
+# fixed twin and the liveness chain ships at or below 0.9x the baseline
+# with the restored live state byte-identical.
+bench-policy:
+	$(GO) run ./cmd/crbench -bench10 BENCH_10.json
 
 # The declarative scenario-validation suite's CI subset: every fast
 # catalog scenario (64..1000 nodes, faulty digests, whole-shard
@@ -122,4 +132,12 @@ chaos-sharded:
 chaos-lazy:
 	$(GO) run ./cmd/crsurvey chaos -seeds 80 -lazy
 
-check: build vet race fuzz scenarios chaos-replication chaos-sharded chaos-lazy
+# Policy sweep: the Young/Daly cadence (plus liveness content on
+# incremental seeds) forced on every seed, with the work-lost economics
+# checker comparing each run against a fixed-cadence twin of the same
+# spec — adapting the interval must never lose more than 2x the work of
+# not adapting (80 seeds here; the nightly run goes wider).
+chaos-policy:
+	$(GO) run ./cmd/crsurvey chaos -seeds 80 -policy
+
+check: build vet race fuzz scenarios chaos-replication chaos-sharded chaos-lazy chaos-policy bench-policy

@@ -1,4 +1,4 @@
-// Command crbench runs the derived experiments E1–E19 (DESIGN.md §3) and
+// Command crbench runs the derived experiments E1–E20 (DESIGN.md §3) and
 // prints their tables. Each experiment turns one of the paper's
 // qualitative claims into a measured result on the simulated substrate.
 //
@@ -34,6 +34,13 @@
 //	                   # chain, drained-digest equivalence, lazy-vs-eager
 //	                   # cluster failover twins; gates TTFI <= 0.25x eager
 //	                   # with byte-identical memory) as JSON
+//	crbench -bench10 BENCH_10.json
+//	                   # write the E20 policy bench (Young/Daly cadence vs
+//	                   # fixed twin on the same fault schedule, liveness
+//	                   # delta chain vs tracker baseline; gates work-lost
+//	                   # <= 0.8x fixed and delta bytes <= 0.9x baseline
+//	                   # with the restored live state byte-identical) as
+//	                   # JSON
 package main
 
 import (
@@ -57,7 +64,36 @@ func main() {
 	bench7 := flag.String("bench7", "", "write the E17 replication bench to this JSON file and exit")
 	bench8 := flag.String("bench8", "", "write the E18 fleet-scale bench to this JSON file and exit")
 	bench9 := flag.String("bench9", "", "write the E19 lazy-restore bench to this JSON file and exit")
+	bench10 := flag.String("bench10", "", "write the E20 policy bench to this JSON file and exit")
 	flag.Parse()
+
+	if *bench10 != "" {
+		s := experiments.E20Bench(*quick)
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*bench10, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+		for _, c := range []experiments.E20CadenceSummary{s.Fixed, s.YoungDaly} {
+			fmt.Printf("%-10s completed=%v failures=%d work-lost %.2f ms, %d ckpts, %d recomputes, final interval %.3f ms\n",
+				c.Policy, c.Completed, c.Failures, c.WorkLostMs, c.Checkpoints, c.Recomputes, c.FinalIntervalMs)
+		}
+		fmt.Printf("work-lost ratio youngdaly/fixed %.2fx (gate <= 0.8x), fingerprints match=%v\n",
+			s.WorkLostRatio, s.FingerprintsMatch)
+		lv := s.Liveness
+		fmt.Printf("liveness chain %d bytes vs baseline %d (%.2fx, gate <= 0.9x), excluded %d, live digest match=%v, fingerprints at reference=%v\n",
+			lv.FilteredBytes, lv.BaselineBytes, lv.BytesRatio, lv.ExcludedBytes, lv.LiveDigestMatch, lv.FingerprintMatch)
+		fmt.Println("wrote", *bench10)
+		if !s.GatePass {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench9 != "" {
 		s := experiments.E19Bench(*quick)
@@ -214,8 +250,8 @@ func main() {
 	if *sel != "" {
 		for _, part := range strings.Split(*sel, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 || n > 19 {
-				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..19)\n", part)
+			if err != nil || n < 1 || n > 20 {
+				fmt.Fprintf(os.Stderr, "crbench: bad experiment %q (want 1..20)\n", part)
 				os.Exit(2)
 			}
 			want[n] = true
@@ -263,6 +299,7 @@ func main() {
 		{17, func() *trace.Table { return experiments.E17Replication(*quick) }},
 		{18, func() *trace.Table { return experiments.E18Scale(*quick) }},
 		{19, func() *trace.Table { return experiments.E19Lazy(*quick) }},
+		{20, func() *trace.Table { return experiments.E20Policy(*quick) }},
 	}
 	for _, t := range tables {
 		if !run(t.n) {

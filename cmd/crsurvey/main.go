@@ -26,6 +26,10 @@
 //	crsurvey chaos -sharded -seeds 200      # sharded digest detection forced on wherever
 //	                                        # the cluster is wide enough (aggregator
 //	                                        # failover under chaos)
+//	crsurvey chaos -policy -seeds 200       # Young/Daly cadence (and liveness content on
+//	                                        # incremental specs) forced on, with the
+//	                                        # work-lost economics invariant checked
+//	                                        # against a fixed-cadence twin per seed
 //	crsurvey chaos -replay 42            # re-run one seed, print its event log
 //	crsurvey chaos -replay 42 -spec '{...}' -shrink
 package main
@@ -104,6 +108,7 @@ func chaosMain(args []string) {
 	replication := fs.Bool("replication", false, "force replicated placement on every spec (replication-invariant sweep)")
 	sharded := fs.Bool("sharded", false, "force sharded digest detection on every spec wide enough for it")
 	lazy := fs.Bool("lazy", false, "force lazy restart-before-read failover on every spec (digest-equivalence sweep)")
+	policy := fs.Bool("policy", false, "force the youngdaly cadence policy (and liveness content on incremental specs) plus the work-lost economics checker on every spec")
 	replay := fs.Int64("replay", 0, "replay one seed instead of sweeping")
 	spec := fs.String("spec", "", "replay this spec JSON (from a printed replay line) instead of regenerating from the seed")
 	shrink := fs.Bool("shrink", false, "shrink a violating replay to a minimal reproducer")
@@ -147,6 +152,25 @@ func chaosMain(args []string) {
 		if *lazy {
 			sp.LazyRestore = true
 		}
+		// -policy forces the Young/Daly cadence engine on every spec (and
+		// the liveness content policy wherever deltas are in play), so a
+		// sweep exercises MTBF estimation, live recompute, and dead-page
+		// exclusion on all seeds — with the work-lost economics invariant
+		// bounding the adaptive cadence against its fixed twin.
+		if *policy {
+			sp.Policy = "youngdaly"
+			sp.Liveness = sp.Incremental
+		}
+	}
+
+	// The work-lost economics checker reruns a fixed-cadence twin per
+	// seed, so it is opt-in with the policy sweep rather than part of
+	// every run.
+	runOne := func(sp *chaos.Spec) *chaos.Result {
+		if *policy {
+			return chaos.RunChecked(sp, append(chaos.DefaultCheckers(), chaos.NewWorkLostChecker()))
+		}
+		return chaos.Run(sp)
 	}
 
 	if *replay != 0 || *spec != "" {
@@ -165,7 +189,7 @@ func chaosMain(args []string) {
 		}
 		sp.NoFencing = sp.NoFencing || *broken
 		force(sp)
-		r := chaos.Run(sp)
+		r := runOne(sp)
 		fmt.Println(r.Summary())
 		fmt.Print(r.EventLog)
 		if len(r.Violations) == 0 {
@@ -189,7 +213,7 @@ func chaosMain(args []string) {
 		sp := chaos.Generate(*start + int64(i))
 		sp.NoFencing = *broken
 		force(sp)
-		r := chaos.Run(sp)
+		r := runOne(sp)
 		if len(r.Violations) == 0 {
 			continue
 		}

@@ -46,8 +46,7 @@ func run() {
 			MkMech:       func() repro.Mechanism { return repro.NewCRAK() },
 			Prog:         app,
 			Iterations:   iterations,
-			Interval:     8 * repro.Millisecond,
-			Adaptive:     true,
+			Policy:       repro.AdaptivePolicy(8 * repro.Millisecond),
 			UseLocalDisk: useLocal,
 		})
 		if err := sup.Run(5 * repro.Second); err != nil {
@@ -100,7 +99,7 @@ func runDetectorDriven() {
 		MkMech:      func() repro.Mechanism { return repro.NewCRAK() },
 		Prog:        app,
 		Iterations:  120,
-		Interval:    4 * repro.Millisecond,
+		Policy:      repro.FixedPolicy(4 * repro.Millisecond),
 		Detector:    mon,
 		ControlNode: 4,
 	})

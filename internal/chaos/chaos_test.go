@@ -144,7 +144,7 @@ func TestSpecValidation(t *testing.T) {
 	for name, mutate := range map[string]func(*Spec){
 		"too-few-nodes":      func(s *Spec) { s.Nodes = 2 },
 		"empty-workload":     func(s *Spec) { s.Iterations = 0 },
-		"zero-interval":      func(s *Spec) { s.Interval = 0 },
+		"zero-interval":      func(s *Spec) { s.Cadence = 0 },
 		"zero-heartbeat":     func(s *Spec) { s.HBPeriod = 0 },
 		"budget-lt-quiesce":  func(s *Spec) { s.Budget = s.Quiesce },
 		"fail-observer":      func(s *Spec) { s.Failures = []FailEvent{{At: 1, Node: s.observer()}} },

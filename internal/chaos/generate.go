@@ -29,7 +29,7 @@ func Generate(seed int64) *Spec {
 		WriteFrac:  0.1 + 0.3*rng.Float64(),
 		WorkSeed:   int64(rng.Intn(1 << 16)),
 		Iterations: 20 + uint64(rng.Intn(41)), // 20..60
-		Interval:   simtime.Duration(2+rng.Intn(4)) * simtime.Millisecond,
+		Cadence:    simtime.Duration(2+rng.Intn(4)) * simtime.Millisecond,
 		Detector:   detectorNames[rng.Intn(len(detectorNames))],
 		HBPeriod:   simtime.Duration(150+rng.Intn(151)) * simtime.Microsecond,
 	}
@@ -171,6 +171,25 @@ func Generate(seed int64) *Spec {
 	// byte-identical to an eager restore's.
 	if rng.Float64() < 0.5 {
 		sp.LazyRestore = true
+	}
+
+	// Cadence policy: a third of the seeds run the Young/Daly engine,
+	// a sixth the legacy adaptive consult, the rest stay fixed. Drawn
+	// last, after LazyRestore, so earlier replay lines reproduce
+	// unchanged.
+	switch r := rng.Float64(); {
+	case r < 1.0/3:
+		sp.Policy = "youngdaly"
+	case r < 0.5:
+		sp.Policy = "adaptive"
+	}
+
+	// Live-content deltas on half the incremental seeds. Drawn last,
+	// after Policy, for the same replay-stability reason; the draw
+	// happens only on Incremental seeds so non-chain lines are
+	// untouched.
+	if sp.Incremental && rng.Float64() < 0.5 {
+		sp.Liveness = true
 	}
 	return sp
 }

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestPolicyGeneratedMix pins that the generator actually draws the
+// policy dimensions across the tier-1 sweep width: youngdaly and
+// adaptive cadences, and liveness content on incremental seeds. A
+// dimension the sweep never draws is a dimension chaos never tests.
+func TestPolicyGeneratedMix(t *testing.T) {
+	var youngdaly, adaptive, live int
+	for seed := int64(1); seed <= sweepSeeds; seed++ {
+		sp := Generate(seed)
+		switch sp.Policy {
+		case "youngdaly":
+			youngdaly++
+		case "adaptive":
+			adaptive++
+		}
+		if sp.Liveness {
+			live++
+			if !sp.Incremental {
+				t.Fatalf("seed %d: liveness drawn without incremental", seed)
+			}
+		}
+	}
+	if youngdaly == 0 || adaptive == 0 || live == 0 {
+		t.Fatalf("generator mix: youngdaly=%d adaptive=%d liveness=%d of %d seeds (want all nonzero)",
+			youngdaly, adaptive, live, sweepSeeds)
+	}
+	t.Logf("policy mix: youngdaly=%d adaptive=%d liveness=%d of %d", youngdaly, adaptive, live, sweepSeeds)
+}
+
+// TestPolicyForcedSweep forces the youngdaly cadence (and, on
+// incremental seeds, the liveness content policy) onto every generated
+// scenario and demands the full invariant catalog plus the work-lost
+// economics checker stay silent: adapting the interval from measured
+// MTBF may never lose an acked checkpoint, corrupt restored state, or
+// lose more than twice the work of the fixed cadence on the same fault
+// schedule.
+func TestPolicyForcedSweep(t *testing.T) {
+	checkers := func() []Checker { return append(DefaultCheckers(), NewWorkLostChecker()) }
+	ran := 0
+	for seed := int64(1); seed <= 80; seed++ {
+		sp := Generate(seed)
+		sp.Policy = "youngdaly"
+		sp.Liveness = sp.Incremental
+		ran++
+		if r := RunChecked(sp, checkers()); len(r.Violations) > 0 {
+			t.Errorf("seed %d: %s", seed, r.Summary())
+			for _, v := range r.Violations {
+				t.Errorf("  %s", v)
+			}
+			t.Errorf("  reproduce: %s", r.Spec.ReplayLine())
+		}
+	}
+	t.Logf("policy sweep covered %d seeds", ran)
+}
+
+// TestPolicyForcedSweepDeterministic double-runs a handful of forced
+// youngdaly+liveness scenarios: the adaptive cadence and the liveness
+// exclusion set must both be schedule-stable or replay lines are
+// worthless.
+func TestPolicyForcedSweepDeterministic(t *testing.T) {
+	checked := 0
+	for seed := int64(1); seed <= 30 && checked < 4; seed++ {
+		sp := Generate(seed)
+		if !sp.Incremental {
+			continue
+		}
+		sp.Policy = "youngdaly"
+		sp.Liveness = true
+		checked++
+		if ok, a, b := Confirm(sp); !ok {
+			t.Fatalf("policy seed %d nondeterministic: %#x vs %#x", seed, a.Digest, b.Digest)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no incremental seed in [1,30]")
+	}
+}
+
+// TestPolicySpecValidation rejects policy specs the executor cannot
+// run.
+func TestPolicySpecValidation(t *testing.T) {
+	base := Generate(1)
+
+	sp := base.Clone()
+	sp.Policy = "sometimes"
+	if sp.validate() == nil {
+		t.Error("unknown cadence policy accepted")
+	}
+
+	sp = base.Clone()
+	sp.Incremental = false
+	sp.Liveness = true
+	if sp.validate() == nil {
+		t.Error("liveness without incremental accepted")
+	}
+
+	for _, ok := range []string{"", "fixed", "youngdaly", "adaptive"} {
+		sp = base.Clone()
+		sp.Policy = ok
+		if err := sp.validate(); err != nil {
+			t.Errorf("policy %q rejected: %v", ok, err)
+		}
+	}
+}

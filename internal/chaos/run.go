@@ -14,6 +14,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/storage"
 	"repro/internal/syslevel"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -30,6 +31,12 @@ type Result struct {
 	FromScratch int
 	Violations  []Violation
 
+	// WorkLost summarizes the supervisor's policy.work_lost histogram:
+	// one observation per failure, measuring the progress gap the
+	// failure destroyed. The policy checkers and crbench compare its
+	// total (Mean·N) across cadence strategies.
+	WorkLost trace.HistSnapshot
+
 	// EventLog is the rendered orchestration + suspicion event stream;
 	// Counters the sorted counter snapshot. Digest hashes both plus the
 	// end state — two runs of the same spec must produce equal digests.
@@ -37,6 +44,10 @@ type Result struct {
 	Counters string
 	Digest   uint64
 }
+
+// WorkLostTotalMS is the total simulated milliseconds of work lost to
+// failures across the run.
+func (r *Result) WorkLostTotalMS() float64 { return r.WorkLost.Mean * float64(r.WorkLost.N) }
 
 // Violated reports whether the named invariant was breached.
 func (r *Result) Violated(invariant string) bool {
@@ -115,7 +126,7 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:         prog,
 		Iterations:   sp.Iterations,
-		Interval:     sp.Interval,
+		Policy:       sp.policySpec(),
 		Incremental:  sp.Incremental,
 		RebaseEvery:  sp.RebaseEvery,
 		CompactAfter: sp.CompactAfter,
@@ -185,6 +196,7 @@ func RunChecked(sp *Spec, checkers []Checker) *Result {
 	if runErr != nil {
 		res.Aborted = runErr.Error()
 	}
+	res.WorkLost = sup.Metrics.Hist("policy.work_lost").Snapshot()
 	for _, ck := range checkers {
 		res.Violations = append(res.Violations, ck.Finish(audit)...)
 	}

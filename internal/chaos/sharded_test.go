@@ -78,7 +78,7 @@ func TestShardedRunDeterministic(t *testing.T) {
 func TestShardedAggregatorDeath(t *testing.T) {
 	sp := &Spec{
 		Seed: 7, Nodes: 7, MiB: 1, WriteFrac: 0.2, WorkSeed: 7, Iterations: 30,
-		Interval: 3 * simtime.Millisecond,
+		Cadence:  3 * simtime.Millisecond,
 		Detector: "timeout-2ms", HBPeriod: 200 * simtime.Microsecond,
 		// Node 3 aggregates shard 1 ({3,4,5}); node 0 runs the job in
 		// shard 0 ({0,1,2}). Kill the shard-1 aggregator permanently: the

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 )
 
@@ -67,13 +68,28 @@ type Spec struct {
 	WorkSeed   int64   `json:"wseed"`
 	Iterations uint64  `json:"iters"`
 
-	// Checkpoint policy. Incremental ships tracker-driven delta chains
-	// with a full rebase every RebaseEvery checkpoints; absent (the
-	// zero value, and the default for replay lines predating chains)
-	// every checkpoint is a full image.
-	Interval    simtime.Duration `json:"interval"`
+	// Checkpoint policy. Cadence is the base checkpoint interval (the
+	// JSON key stays "interval" so replay lines predating the policy
+	// engine parse unchanged). Incremental ships tracker-driven delta
+	// chains with a full rebase every RebaseEvery checkpoints; absent
+	// (the zero value, and the default for replay lines predating
+	// chains) every checkpoint is a full image.
+	Cadence     simtime.Duration `json:"interval"`
 	Incremental bool             `json:"incr,omitempty"`
 	RebaseEvery int              `json:"rebase,omitempty"`
+
+	// Policy selects the cadence strategy fed to the policy engine:
+	// "" or "fixed" checkpoints every Cadence; "youngdaly" recomputes
+	// the Young/Daly optimum from the online MTBF estimate and measured
+	// capture cost; "adaptive" is the legacy per-tick Young consult.
+	// Empty is the default for replay lines predating the engine.
+	Policy string `json:"policy,omitempty"`
+	// Liveness switches delta content to live pages only (Incremental
+	// seeds only): pages overwritten before ever being read are withheld
+	// from the chains. False is the default for replay lines predating
+	// liveness tracking; the digest checker then proves live-content
+	// restores remain byte-identical to the fault-free oracle.
+	Liveness bool `json:"live,omitempty"`
 
 	// Detector is one of "timeout-1ms", "timeout-2ms", "timeout-3ms",
 	// "phi-4", "phi-8", "phi-12"; HBPeriod is the heartbeat period.
@@ -169,6 +185,25 @@ func (sp *Spec) replicationConfig() *cluster.ReplicationConfig {
 	return nil
 }
 
+// policySpec translates the Cadence/Policy/Liveness knobs into the
+// supervisor's policy.Spec.
+func (sp *Spec) policySpec() policy.Spec {
+	var pol policy.Spec
+	switch sp.Policy {
+	case "youngdaly":
+		pol = policy.YoungDaly(sp.Cadence)
+	case "adaptive":
+		pol = policy.AdaptiveYoung(0)
+		pol.Interval = sp.Cadence
+	default:
+		pol = policy.Fixed(sp.Cadence)
+	}
+	if sp.Liveness {
+		pol.Content = policy.ContentLive
+	}
+	return pol
+}
+
 // observer returns the control-plane node index.
 func (sp *Spec) observer() int { return sp.Nodes - 1 }
 
@@ -197,6 +232,12 @@ func (sp *Spec) Size() int {
 		n++
 	}
 	if sp.LazyRestore {
+		n++
+	}
+	if sp.Policy != "" && sp.Policy != "fixed" {
+		n++
+	}
+	if sp.Liveness {
 		n++
 	}
 	return n
@@ -245,8 +286,16 @@ func (sp *Spec) validate() error {
 	if sp.Iterations == 0 || sp.MiB <= 0 {
 		return fmt.Errorf("chaos: empty workload")
 	}
-	if sp.Interval <= 0 || sp.HBPeriod <= 0 {
+	if sp.Cadence <= 0 || sp.HBPeriod <= 0 {
 		return fmt.Errorf("chaos: interval and heartbeat period must be positive")
+	}
+	switch sp.Policy {
+	case "", "fixed", "youngdaly", "adaptive":
+	default:
+		return fmt.Errorf("chaos: unknown cadence policy %q", sp.Policy)
+	}
+	if sp.Liveness && !sp.Incremental {
+		return fmt.Errorf("chaos: liveness content needs incremental chains")
 	}
 	if sp.Budget <= sp.Quiesce {
 		return fmt.Errorf("chaos: budget %v must exceed quiesce %v", sp.Budget, sp.Quiesce)

@@ -20,8 +20,12 @@ type Stats struct {
 	Extents      int
 	VMAs         int
 	Workers      int // capture worker pool size actually used (1 = sequential)
-	Duration     simtime.Duration
-	Object       string
+	// ExcludedBytes counts payload dropped because it fell inside a
+	// declared RegionExclude checkpoint region (scratch state the
+	// application promised not to need across a restart).
+	ExcludedBytes int
+	Duration      simtime.Duration
+	Object        string
 }
 
 // Request drives one capture.
@@ -121,6 +125,7 @@ func Capture(req Request) (*Image, Stats, error) {
 	}
 
 	vmas := acc.VMAs()
+	excludedBytes := 0
 	for _, v := range vmas {
 		sec := VMASection{Start: v.Start, Length: v.Length, Kind: v.Kind, Name: v.Name, Prot: v.Prot}
 		var vranges []Range
@@ -136,6 +141,9 @@ func Capture(req Request) (*Image, Stats, error) {
 				}
 			}
 		}
+		var dropped int
+		vranges, dropped = subtractExcludedRegions(p, vranges)
+		excludedBytes += dropped
 		for _, r := range vranges {
 			if r.Length == 0 {
 				// A zero-length tracker range would become an empty
@@ -179,12 +187,13 @@ func Capture(req Request) (*Image, Stats, error) {
 	}
 
 	st := Stats{
-		Mode:         mode,
-		PayloadBytes: img.PayloadBytes(),
-		Extents:      img.NumExtents(),
-		VMAs:         len(img.VMAs),
-		Workers:      workers,
-		Object:       img.ObjectName(),
+		Mode:          mode,
+		PayloadBytes:  img.PayloadBytes(),
+		Extents:       img.NumExtents(),
+		VMAs:          len(img.VMAs),
+		Workers:       workers,
+		ExcludedBytes: excludedBytes,
+		Object:        img.ObjectName(),
 	}
 
 	if req.Target != nil {
@@ -301,6 +310,55 @@ func fillExtentsParallel(img *Image, pr ParallelReader, workers int) error {
 // as wide as the machine. Library code must opt in explicitly so
 // simulated results stay host-independent by default.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// subtractExcludedRegions removes the process's declared RegionExclude
+// checkpoint regions from a capture range set and reports how many
+// bytes were dropped. The region API is CRAFT-style: the application
+// declares up front which address ranges are scratch (recomputable
+// after restart), and every capture — full or delta — honours the
+// declaration. Protect regions are the trackers' concern; here only
+// exclusions apply.
+func subtractExcludedRegions(p *proc.Process, rs []Range) ([]Range, int) {
+	var regs []proc.CkptRegion
+	for _, cr := range p.CkptRegions {
+		if cr.Policy == proc.RegionExclude {
+			regs = append(regs, cr)
+		}
+	}
+	if len(regs) == 0 || len(rs) == 0 {
+		return rs, 0
+	}
+	dropped := 0
+	out := make([]Range, 0, len(rs))
+	for _, r := range rs {
+		segs := []Range{r}
+		for _, cr := range regs {
+			var next []Range
+			for _, s := range segs {
+				lo, hi := s.Addr, s.Addr+mem.Addr(s.Length)
+				clo, chi := cr.Start, cr.End()
+				if chi <= lo || clo >= hi {
+					next = append(next, s)
+					continue
+				}
+				if clo > lo {
+					next = append(next, Range{Addr: lo, Length: int(clo - lo)})
+				}
+				if chi < hi {
+					next = append(next, Range{Addr: chi, Length: int(hi - chi)})
+				}
+			}
+			segs = next
+		}
+		kept := 0
+		for _, s := range segs {
+			kept += s.Length
+			out = append(out, s)
+		}
+		dropped += r.Length - kept
+	}
+	return out, dropped
+}
 
 // residentRangesOf lists resident page ranges of a single VMA (text
 // included for full captures: restart must reproduce the whole image).

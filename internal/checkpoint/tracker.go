@@ -31,6 +31,9 @@ type TrackerStats struct {
 	// (per-write faults), the overhead incremental schemes impose on the
 	// application between checkpoints.
 	RuntimeOverhead simtime.Duration
+	// ExcludedBytes is the cumulative payload withheld from deltas by
+	// liveness exclusion and declared exclude regions.
+	ExcludedBytes uint64
 }
 
 // Tracker identifies the memory modified since the last collection — the

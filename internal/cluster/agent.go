@@ -234,7 +234,15 @@ func (a *ckptAgent) capture(m mechanism.Mechanism, n *Node, p *proc.Process, tgt
 		// Arm one tracker per incarnation, node-locally. Its first
 		// collection returns everything resident, so passing it on the
 		// incarnation's initial rebase still yields a complete image.
-		t := checkpoint.NewCarryTracker(checkpoint.NewKernelWPTracker(n.K, p))
+		// Under a live-content policy the liveness tracker replaces the
+		// plain dirty tracker: it additionally watches reads and
+		// withholds dead pages (overwritten before ever being read)
+		// from the deltas it reports.
+		var inner checkpoint.Tracker = checkpoint.NewKernelWPTracker(n.K, p)
+		if spec := a.s.Policy.Spec(); spec.Liveness() {
+			inner = checkpoint.NewKernelLivenessTracker(n.K, p, spec.DeadStreak)
+		}
+		t := checkpoint.NewCarryTracker(inner)
 		if err := t.Arm(); err != nil {
 			a.s.Counters.Inc("agent.trk_failed", 1)
 		} else {
@@ -276,7 +284,8 @@ func (s *Supervisor) noteAckObject(a *ckptAgent, obj string, full bool,
 	s.Checkpoints++
 	s.lastNode = a.node
 	s.lastLocal = false
-	s.lastCkptDur = ckptDur
+	s.Policy.ObserveCaptureCost(ckptDur)
+	s.lastProgressAt = s.C.Now()
 	s.Counters.Inc("ckpt.bytes_shipped", int64(encodedBytes))
 	var retire []string
 	if !full {

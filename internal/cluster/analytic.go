@@ -3,6 +3,7 @@ package cluster
 import (
 	"math/rand"
 
+	"repro/internal/policy"
 	"repro/internal/simtime"
 )
 
@@ -43,9 +44,12 @@ type JobConfig struct {
 	// RepairTime is node downtime after a failure before work resumes
 	// (reboot, or re-allocation to a spare).
 	RepairTime simtime.Duration
-	// Interval returns the checkpoint interval to use next, given the
-	// autonomic estimator state; a nil func disables checkpointing.
-	Interval func(est *MTBFEstimator) simtime.Duration
+	// Policy is the checkpoint cadence policy, consulted before every
+	// segment with the estimator's live state (policy.Fixed for the
+	// classic configured interval, policy.AdaptiveYoung for §1's
+	// re-derive-every-segment behaviour). A zero Spec disables
+	// checkpointing.
+	Policy policy.Spec
 	// Storage is the checkpoint placement policy.
 	Storage StoragePolicy
 	// PermanentFrac is the fraction of failures that destroy the node
@@ -55,19 +59,6 @@ type JobConfig struct {
 	MaxTime simtime.Duration
 	// PriorMTBF seeds the estimator.
 	PriorMTBF simtime.Duration
-}
-
-// FixedInterval returns an interval policy that always uses d.
-func FixedInterval(d simtime.Duration) func(*MTBFEstimator) simtime.Duration {
-	return func(*MTBFEstimator) simtime.Duration { return d }
-}
-
-// AdaptiveYoung returns the autonomic policy of §1: re-derive Young's
-// interval from the online MTBF estimate before every segment.
-func AdaptiveYoung(ckptCost simtime.Duration) func(*MTBFEstimator) simtime.Duration {
-	return func(est *MTBFEstimator) simtime.Duration {
-		return YoungInterval(ckptCost, est.Estimate())
-	}
 }
 
 // JobResult summarizes one analytic run.
@@ -109,10 +100,10 @@ func SimulateJob(cfg JobConfig, fm FailureModel, rng *rand.Rand) JobResult {
 		// Choose the next segment.
 		var seg simtime.Duration
 		ckptAfter := false
-		if cfg.Interval == nil {
+		if !cfg.Policy.Enabled() {
 			seg = cfg.Work - durable
 		} else {
-			iv := cfg.Interval(est)
+			iv := cfg.Policy.IntervalFor(cfg.CkptCost, est.Estimate())
 			if iv <= 0 {
 				iv = cfg.Work
 			}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
 	"repro/internal/syslevel"
@@ -65,7 +66,7 @@ func TestAutonomicFalseSuspicionIsFencedAndRecovers(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  60,
-		Interval:    3 * simtime.Millisecond,
+		Policy:      policy.Fixed(3 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 	})
@@ -132,7 +133,7 @@ func TestAutonomicNoFencingLeaksDoubleCommits(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  60,
-		Interval:    3 * simtime.Millisecond,
+		Policy:      policy.Fixed(3 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 		NoFencing:   true,
@@ -170,7 +171,7 @@ func TestAutonomicPhiUnderLossAndRealFailures(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  60,
-		Interval:    3 * simtime.Millisecond,
+		Policy:      policy.Fixed(3 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 	})

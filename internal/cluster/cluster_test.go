@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -196,7 +197,7 @@ func TestSupervisorSurvivesFailuresWithRemoteStorage(t *testing.T) {
 		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:       prog,
 		Iterations: 60,
-		Interval:   5 * simtime.Millisecond,
+		Policy:     policy.Fixed(5 * simtime.Millisecond),
 	})
 	// Kill the job's node twice, mid-run.
 	killAt := []simtime.Duration{12 * simtime.Millisecond, 30 * simtime.Millisecond}
@@ -255,7 +256,7 @@ func TestYoungIntervalIsAnalyticOptimum(t *testing.T) {
 		cfg := JobConfig{
 			Work: work, CkptCost: ckpt, RestartCost: 2 * simtime.Minute,
 			RepairTime: 5 * simtime.Minute,
-			Interval:   FixedInterval(iv),
+			Policy:     policy.Fixed(iv),
 			Storage:    StoreRemote,
 		}
 		return AverageResult(cfg, Exponential{Mean: mtbf}, 42, 40).Makespan
@@ -277,7 +278,7 @@ func TestAnalyticStoragePolicies(t *testing.T) {
 	base := JobConfig{
 		Work: 24 * simtime.Hour, CkptCost: 2 * simtime.Minute,
 		RestartCost: time2m(), RepairTime: 10 * simtime.Minute,
-		Interval: FixedInterval(30 * simtime.Minute),
+		Policy: policy.Fixed(30 * simtime.Minute),
 	}
 	fm := Exponential{Mean: 4 * simtime.Hour}
 
@@ -286,7 +287,7 @@ func TestAnalyticStoragePolicies(t *testing.T) {
 		cfg.Storage = st
 		cfg.PermanentFrac = permFrac
 		if st == StoreNone {
-			cfg.Interval = nil
+			cfg.Policy = policy.Spec{}
 		}
 		return AverageResult(cfg, fm, 7, 30)
 	}
@@ -324,9 +325,9 @@ func TestAdaptiveYoungConvergesToOracle(t *testing.T) {
 	fm := Exponential{Mean: 6 * simtime.Hour}
 
 	oracle := cfg
-	oracle.Interval = FixedInterval(YoungInterval(cfg.CkptCost, fm.Mean))
+	oracle.Policy = policy.Fixed(YoungInterval(cfg.CkptCost, fm.Mean))
 	adaptive := cfg
-	adaptive.Interval = AdaptiveYoung(cfg.CkptCost)
+	adaptive.Policy = policy.AdaptiveYoung(cfg.CkptCost)
 
 	ro := AverageResult(oracle, fm, 11, 40)
 	ra := AverageResult(adaptive, fm, 11, 40)
@@ -410,8 +411,8 @@ func TestInjectorFiresAndRepairs(t *testing.T) {
 func TestSimulateJobNoFailures(t *testing.T) {
 	cfg := JobConfig{
 		Work: simtime.Hour, CkptCost: simtime.Minute,
-		Interval: FixedInterval(10 * simtime.Minute),
-		Storage:  StoreRemote,
+		Policy:  policy.Fixed(10 * simtime.Minute),
+		Storage: StoreRemote,
 	}
 	// MTBF effectively infinite.
 	r := SimulateJob(cfg, Exponential{Mean: simtime.Duration(1 << 60)}, rand.New(rand.NewSource(1)))
@@ -462,7 +463,7 @@ func TestSupervisorLocalDiskLosesProgressOnPermanentFailure(t *testing.T) {
 		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:         prog,
 		Iterations:   400,
-		Interval:     4 * simtime.Millisecond,
+		Policy:       policy.Fixed(4 * simtime.Millisecond),
 		UseLocalDisk: true,
 	})
 	// All failures permanent: local checkpoints die with the node.
@@ -515,7 +516,7 @@ func TestWeibullStoragePoliciesSameShape(t *testing.T) {
 	base := JobConfig{
 		Work: 24 * simtime.Hour, CkptCost: 2 * simtime.Minute,
 		RestartCost: 2 * simtime.Minute, RepairTime: 10 * simtime.Minute,
-		Interval:      FixedInterval(30 * simtime.Minute),
+		Policy:        policy.Fixed(30 * simtime.Minute),
 		PermanentFrac: 0.5,
 	}
 	fm := Weibull{Scale: 8 * simtime.Hour, Shape: 1.5}
@@ -523,7 +524,7 @@ func TestWeibullStoragePoliciesSameShape(t *testing.T) {
 		cfg := base
 		cfg.Storage = st
 		if st == StoreNone {
-			cfg.Interval = nil
+			cfg.Policy = policy.Spec{}
 		}
 		return AverageResult(cfg, fm, 17, 25)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/syslevel"
 	"repro/internal/workload"
@@ -39,7 +40,7 @@ func TestAutonomicCompactionBoundsChain(t *testing.T) {
 		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:         prog,
 		Iterations:   60,
-		Interval:     simtime.Millisecond,
+		Policy:       policy.Fixed(simtime.Millisecond),
 		Detector:     mon,
 		ControlNode:  3,
 		Incremental:  true,
@@ -130,7 +131,7 @@ func TestRestoreRightAfterCompaction(t *testing.T) {
 		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:         prog,
 		Iterations:   60,
-		Interval:     simtime.Millisecond,
+		Policy:       policy.Fixed(simtime.Millisecond),
 		Detector:     mon,
 		ControlNode:  3,
 		Incremental:  true,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/costmodel"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -169,7 +170,7 @@ func TestSupervisorRetriesAndFallsBackToLocalDisk(t *testing.T) {
 		MkMech:        func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:          prog,
 		Iterations:    60,
-		Interval:      5 * simtime.Millisecond,
+		Policy:        policy.Fixed(5 * simtime.Millisecond),
 		LocalFallback: true,
 	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
@@ -214,7 +215,7 @@ func TestSupervisorWithoutFallbackReportsFailedRounds(t *testing.T) {
 		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:       prog,
 		Iterations: 60,
-		Interval:   5 * simtime.Millisecond,
+		Policy:     policy.Fixed(5 * simtime.Millisecond),
 	})
 	if err := sup.Run(2 * simtime.Second); err != nil {
 		t.Fatal(err)
@@ -249,7 +250,7 @@ func acceptanceRun(t *testing.T, unsafeCommit bool) (*Supervisor, *Cluster) {
 		MkMech:        func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:          prog,
 		Iterations:    600,
-		Interval:      5 * simtime.Millisecond,
+		Policy:        policy.Fixed(5 * simtime.Millisecond),
 		LocalFallback: true,
 		UnsafeCommit:  unsafeCommit,
 	})

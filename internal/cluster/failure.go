@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/policy"
 	"repro/internal/simtime"
 )
 
@@ -134,56 +135,29 @@ func (inj *Injector) apply(c *Cluster) {
 	}
 }
 
+// The interval formulas and the online MTBF estimator moved to
+// internal/policy with the policy.Spec redesign; the names below are
+// kept so existing callers (repro.YoungInterval, the analytic model's
+// tests, the examples) keep working unchanged.
+
 // YoungInterval is Young's first-order optimum for the checkpoint
 // interval: sqrt(2 · checkpointCost · MTBF).
 func YoungInterval(ckptCost, mtbf simtime.Duration) simtime.Duration {
-	if ckptCost <= 0 || mtbf <= 0 {
-		return mtbf
-	}
-	return simtime.Duration(math.Sqrt(2 * float64(ckptCost) * float64(mtbf)))
+	return policy.Young(ckptCost, mtbf)
 }
 
 // DalyInterval is Daly's higher-order refinement, accurate when the
 // checkpoint cost is not negligible next to the MTBF.
 func DalyInterval(ckptCost, mtbf simtime.Duration) simtime.Duration {
-	if ckptCost <= 0 || mtbf <= 0 {
-		return mtbf
-	}
-	d, m := float64(ckptCost), float64(mtbf)
-	if d >= 2*m {
-		return simtime.Duration(m)
-	}
-	x := math.Sqrt(d / (2 * m))
-	return simtime.Duration(math.Sqrt(2*d*m)*(1+x/3+x*x/9) - d)
+	return policy.Daly(ckptCost, mtbf)
 }
 
 // MTBFEstimator is the autonomic manager's online failure-rate tracker:
 // the maximum-likelihood exponential estimate uptime/failures, with an
 // optimistic prior before the first failure.
-type MTBFEstimator struct {
-	Prior    simtime.Duration
-	failures int
-	uptime   simtime.Duration
-}
+type MTBFEstimator = policy.MTBFEstimator
 
 // NewMTBFEstimator returns an estimator with the given prior MTBF.
 func NewMTBFEstimator(prior simtime.Duration) *MTBFEstimator {
-	return &MTBFEstimator{Prior: prior}
+	return policy.NewMTBFEstimator(prior)
 }
-
-// ObserveUptime accumulates failure-free running time.
-func (e *MTBFEstimator) ObserveUptime(d simtime.Duration) { e.uptime += d }
-
-// ObserveFailure records one failure.
-func (e *MTBFEstimator) ObserveFailure() { e.failures++ }
-
-// Estimate returns the current MTBF estimate.
-func (e *MTBFEstimator) Estimate() simtime.Duration {
-	if e.failures == 0 {
-		return e.Prior
-	}
-	return e.uptime / simtime.Duration(e.failures)
-}
-
-// Failures returns the observed failure count.
-func (e *MTBFEstimator) Failures() int { return e.failures }

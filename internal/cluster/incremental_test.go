@@ -7,6 +7,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/storage"
 	"repro/internal/syslevel"
@@ -41,7 +42,7 @@ func TestAutonomicIncrementalFailoverAndGC(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  60,
-		Interval:    1500 * simtime.Microsecond,
+		Policy:      policy.Fixed(1500 * simtime.Microsecond),
 		Detector:    mon,
 		ControlNode: 3,
 		Incremental: true,
@@ -115,7 +116,7 @@ func TestAgentCompactionAcrossRepeatedFailovers(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  60,
-		Interval:    2 * simtime.Millisecond,
+		Policy:      policy.Fixed(2 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 		Incremental: true,
@@ -194,8 +195,7 @@ func TestAdaptiveIntervalShrinksMidIncarnation(t *testing.T) {
 		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:       prog,
 		Iterations: 1_000_000, // unused: agents are pumped directly, Run never starts
-		Interval:   5 * simtime.Millisecond,
-		Adaptive:   true,
+		Policy:     policy.Spec{Strategy: policy.StrategyAdaptive, Interval: 5 * simtime.Millisecond},
 		Estimator:  est,
 		Counters:   c.Counters,
 		Fence:      storage.NewFenceDomain("job", c.Counters),
@@ -250,7 +250,7 @@ func TestTornChainFallsBackToLastFull(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  60,
-		Interval:    simtime.Millisecond,
+		Policy:      policy.Fixed(simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 		Incremental: true,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/storage"
 	"repro/internal/syslevel"
@@ -26,7 +27,7 @@ func lazySupervisor(t *testing.T, c *Cluster, prog workload.Sparse, iters uint64
 		MkMech:         func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:           prog,
 		Iterations:     iters,
-		Interval:       simtime.Millisecond,
+		Policy:         policy.Fixed(simtime.Millisecond),
 		Detector:       mon,
 		ControlNode:    3,
 		Incremental:    true,
@@ -136,7 +137,7 @@ func TestLazyVsEagerFingerprintAcrossWorkers(t *testing.T) {
 				MkMech:         func() mechanism.Mechanism { return syslevel.NewCRAK() },
 				Prog:           prog,
 				Iterations:     60,
-				Interval:       simtime.Millisecond,
+				Policy:         policy.Fixed(simtime.Millisecond),
 				Detector:       mon,
 				ControlNode:    3,
 				Incremental:    true,
@@ -197,7 +198,7 @@ func TestLazyMidRestoreNodeFailure(t *testing.T) {
 		MkMech:         func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:           prog,
 		Iterations:     40,
-		Interval:       3 * simtime.Millisecond,
+		Policy:         policy.Fixed(3 * simtime.Millisecond),
 		Detector:       mon,
 		ControlNode:    3,
 		Incremental:    true,
@@ -372,7 +373,7 @@ func TestLazyRestoreRequiresDetector(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  10,
-		Interval:    simtime.Millisecond,
+		Policy:      policy.Fixed(simtime.Millisecond),
 		LazyRestore: true,
 	})
 	if err == nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/costmodel"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -252,13 +253,16 @@ type Supervisor struct {
 	Prog   kernel.Program
 	// Iterations bounds the workload.
 	Iterations uint64
-	// Interval between checkpoints (fixed), or adaptive via Estimator.
-	Interval simtime.Duration
-	Adaptive bool
+	// Policy is the job's checkpoint policy engine: it owns the cadence
+	// (fixed, or recomputed from measured capture cost and the online
+	// MTBF estimate) and the delta content policy. NewSupervisor always
+	// provides one; Run refuses to start without it.
+	Policy *policy.Engine
 	// UseLocalDisk stores checkpoints on the running node instead of the
 	// server — the E5 contrast.
 	UseLocalDisk bool
-	// Estimator drives adaptive intervals and records failures.
+	// Estimator is the policy engine's MTBF estimator, exposed for
+	// callers that read Failures/Estimate directly.
 	Estimator *MTBFEstimator
 
 	// MaxRetries bounds per-round checkpoint retries against the primary
@@ -354,16 +358,19 @@ type Supervisor struct {
 	Events  []Event
 	OnEvent func(Event)
 
-	node        int
-	pid         proc.PID
-	mechAt      map[int]nodeMech
-	lastLeaf    string
-	lastNode    int
-	lastLocal   bool // last good image is on lastNode's local disk
-	lastCkptDur simtime.Duration
-	agents      []*ckptAgent
-	repl        *replState // live replica placement (replication.go)
-	lazy        *lazyRun   // in-flight lazy restore session (lazy.go)
+	node      int
+	pid       proc.PID
+	mechAt    map[int]nodeMech
+	lastLeaf  string
+	lastNode  int
+	lastLocal bool // last good image is on lastNode's local disk
+	// lastProgressAt is the last instant the job's durable state moved
+	// forward (admission, ack, or restart) — the baseline the
+	// policy.work_lost histogram measures each failure against.
+	lastProgressAt simtime.Time
+	agents         []*ckptAgent
+	repl           *replState // live replica placement (replication.go)
+	lazy           *lazyRun   // in-flight lazy restore session (lazy.go)
 
 	// Chain bookkeeping (incremental shipping). lastFull is the newest
 	// acked full image — the fallback anchor when the chain under
@@ -396,8 +403,11 @@ type Supervisor struct {
 // otherwise it uses the classic oracle loop, whose ground-truth reads
 // are tallied in OracleReads for comparison.
 func (s *Supervisor) Run(budget simtime.Duration) error {
+	if s.Policy == nil {
+		return errors.New("cluster: Supervisor needs a policy engine — construct with NewSupervisor")
+	}
 	if s.Estimator == nil {
-		s.Estimator = NewMTBFEstimator(simtime.Hour)
+		s.Estimator = s.Policy.Estimator()
 	}
 	if s.Counters == nil {
 		s.Counters = s.C.Counters
@@ -414,7 +424,7 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 	lastObs := s.C.Now()
 	for s.C.Now() < deadline {
 		s.C.RunFor(s.agentInterval())
-		s.Estimator.ObserveUptime(s.C.Now().Sub(lastObs))
+		s.Policy.ObserveUptime(s.C.Now().Sub(lastObs))
 		lastObs = s.C.Now()
 
 		n := s.C.Node(s.node)
@@ -422,7 +432,7 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 		// would not have; the autonomic loop replaces them.
 		s.OracleReads++
 		if !n.Alive() {
-			s.Estimator.ObserveFailure()
+			s.noteFailure()
 			if err := s.recover(); err != nil {
 				return err
 			}
@@ -433,7 +443,7 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 		if err != nil {
 			// The node failed AND rebooted within the interval: the fresh
 			// kernel has no trace of the job.
-			s.Estimator.ObserveFailure()
+			s.noteFailure()
 			if err := s.recover(); err != nil {
 				return err
 			}
@@ -441,7 +451,7 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 		}
 		if p.State == proc.StateZombie && p.ExitCode != 0 {
 			// Killed by a failure we did not observe directly.
-			s.Estimator.ObserveFailure()
+			s.noteFailure()
 			if err := s.recover(); err != nil {
 				return err
 			}
@@ -463,25 +473,31 @@ func (s *Supervisor) Run(budget simtime.Duration) error {
 	return nil
 }
 
-// agentInterval is the single checkpoint-interval policy, consulted by
-// the classic loop each round and by the node-local agents each pump:
-// the fixed Interval, or — when Adaptive — Young's interval from the
-// measured checkpoint cost and the online MTBF estimate (§1's
-// self-adjusting behaviour). A shrinking MTBF estimate therefore
-// shortens the very next checkpoint gap in both modes.
+// agentInterval is the single checkpoint-cadence seam, consulted by the
+// classic loop each round and by the node-local agents each pump. The
+// policy engine answers: the fixed interval, the legacy per-call
+// adaptive Young recompute, or the youngdaly strategy's live cadence
+// recomputed on observation events (§1's self-adjusting behaviour). A
+// shrinking MTBF estimate therefore shortens the very next checkpoint
+// gap in every mode.
 func (s *Supervisor) agentInterval() simtime.Duration {
-	if !s.Adaptive || s.Estimator == nil {
-		return s.Interval
+	return s.Policy.Interval()
+}
+
+// noteFailure feeds one observed failure into the policy engine (moving
+// the MTBF estimate and, under youngdaly, the live cadence) and records
+// the work lost to it: the simulated time since the job's durable state
+// last moved forward. This is the quantity the interval policy exists
+// to bound, and the chaos work-lost invariant reads it back.
+func (s *Supervisor) noteFailure() {
+	s.Policy.ObserveFailure()
+	if s.Metrics != nil {
+		lost := s.C.Now().Sub(s.lastProgressAt)
+		if lost < 0 {
+			lost = 0
+		}
+		s.Metrics.Hist("policy.work_lost").Observe(lost.Millis())
 	}
-	cost := s.lastCkptDur
-	if cost <= 0 {
-		cost = 10 * simtime.Millisecond
-	}
-	iv := YoungInterval(cost, s.Estimator.Estimate())
-	if iv <= 0 || iv > s.Interval*100 {
-		return s.Interval
-	}
-	return iv
 }
 
 // rebaseEvery returns the configured chain bound (default 8).
@@ -566,6 +582,7 @@ func (s *Supervisor) start(node int) error {
 		p.Regs().G[1] = s.Iterations
 	}
 	s.pid = p.PID
+	s.lastProgressAt = s.C.Now()
 	return nil
 }
 
@@ -591,7 +608,8 @@ func (s *Supervisor) attempt(p *proc.Process, tgt storage.Target, local bool) er
 	s.lastLeaf = tk.Img.ObjectName()
 	s.lastNode = s.node
 	s.lastLocal = local
-	s.lastCkptDur = tk.Total()
+	s.Policy.ObserveCaptureCost(tk.Total())
+	s.lastProgressAt = s.C.Now()
 	s.emit(EvAck, s.node, 0, s.lastLeaf)
 	return nil
 }
@@ -688,6 +706,7 @@ func (s *Supervisor) recover() error {
 	s.node = spare
 	s.pid = p.PID
 	s.Restarts++
+	s.lastProgressAt = s.C.Now()
 	return nil
 }
 
@@ -812,9 +831,6 @@ func (s *Supervisor) observeRestore(chain []*checkpoint.Image, readWait simtime.
 // so a partition looks exactly like a crash, false positives happen, and
 // the fencing epoch is what keeps them safe.
 func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
-	if s.Interval <= 0 {
-		return errors.New("cluster: autonomic mode needs a checkpoint Interval")
-	}
 	if s.Fence == nil {
 		s.Fence = storage.NewFenceDomain("job", s.Counters)
 	}
@@ -835,7 +851,10 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 	s.armAgent(first, s.pid, epoch)
 	s.emit(EvAdmit, first, epoch, "")
 
-	poll := s.Interval / 4
+	// The control loop polls at a quarter of the policy's base cadence:
+	// the live interval may shrink as estimates move, but the loop's own
+	// rhythm stays anchored to the configured base.
+	poll := s.Policy.Base() / 4
 	if poll <= 0 {
 		poll = simtime.Millisecond
 	}
@@ -843,13 +862,13 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 	lastObs := s.C.Now()
 	for s.C.Now() < deadline {
 		s.C.RunFor(poll)
-		s.Estimator.ObserveUptime(s.C.Now().Sub(lastObs))
+		s.Policy.ObserveUptime(s.C.Now().Sub(lastObs))
 		lastObs = s.C.Now()
 
 		if s.Detector.Suspected(s.node) {
 			// The detector says the job's node is dead. It may be wrong —
 			// we cannot tell, and we do not try: fence, then fail over.
-			s.Estimator.ObserveFailure()
+			s.noteFailure()
 			s.Detector.Failover(s.node)
 			if err := s.recoverFenced(); err != nil {
 				return err
@@ -865,14 +884,14 @@ func (s *Supervisor) runAutonomic(budget simtime.Duration) error {
 		if !st.Found {
 			// The node answered and the job is gone — it rebooted under
 			// us faster than suspicion could accrue.
-			s.Estimator.ObserveFailure()
+			s.noteFailure()
 			if err := s.recoverFenced(); err != nil {
 				return err
 			}
 			continue
 		}
 		if st.State == proc.StateZombie && st.ExitCode != 0 {
-			s.Estimator.ObserveFailure()
+			s.noteFailure()
 			if err := s.recoverFenced(); err != nil {
 				return err
 			}
@@ -944,6 +963,7 @@ func (s *Supervisor) recoverFenced() error {
 			s.Restarts++
 			s.node = spare
 			s.pid = p.PID
+			s.lastProgressAt = s.C.Now()
 			s.armAgent(spare, s.pid, epoch)
 			s.emit(EvAdmit, spare, epoch, "")
 			return nil
@@ -981,6 +1001,7 @@ func (s *Supervisor) recoverFenced() error {
 	s.observeRestore(chain, readWait)
 	s.node = spare
 	s.pid = p.PID
+	s.lastProgressAt = s.C.Now()
 	s.armAgent(spare, s.pid, epoch)
 	s.emit(EvAdmit, spare, epoch, "")
 	return nil

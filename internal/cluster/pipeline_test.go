@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
 	"repro/internal/storage"
@@ -42,7 +43,7 @@ func TestPipelinedAutonomicFailoverAndAckDurability(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  300,
-		Interval:    1500 * simtime.Microsecond,
+		Policy:      policy.Fixed(1500 * simtime.Microsecond),
 		Detector:    mon,
 		Incremental: true,
 		RebaseEvery: 3,
@@ -107,7 +108,7 @@ func TestPipelinedShipFailureDropsChainAndRebases(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  1_000_000, // unused: agents are pumped directly, Run never starts
-		Interval:    500 * simtime.Microsecond,
+		Policy:      policy.Fixed(500 * simtime.Microsecond),
 		Detector:    mon,
 		ControlNode: 1,
 		Incremental: true,
@@ -180,7 +181,7 @@ func TestPipelinedFalseSuspicionSelfFences(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  300,
-		Interval:    3 * simtime.Millisecond,
+		Policy:      policy.Fixed(3 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 		Pipeline:    &PipelineConfig{},
@@ -228,7 +229,7 @@ func TestPipelinedDeltaBatching(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  80,
-		Interval:    300 * simtime.Microsecond, // captures far faster than a full image ships
+		Policy:      policy.Fixed(300 * simtime.Microsecond), // captures far faster than a full image ships
 		Detector:    mon,
 		ControlNode: 1,
 		Incremental: true,

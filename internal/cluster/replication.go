@@ -359,7 +359,7 @@ func (s *Supervisor) pickRestoreNode(failed int) int {
 
 // repairCadence is how often the background re-replication sweep runs.
 func (s *Supervisor) repairCadence() simtime.Duration {
-	d := s.Interval / 4
+	d := s.Policy.Base() / 4
 	if d < simtime.Millisecond {
 		d = simtime.Millisecond
 	}
@@ -462,7 +462,7 @@ func (s *Supervisor) objectDegraded(r *storage.Replicated, obj string, want int)
 // is never reassigned here; owner death is a failover, which recomputes
 // the whole placement.
 func (s *Supervisor) reassignDeadSlots(now simtime.Time) {
-	after := s.Replication.repairAfter(s.Interval)
+	after := s.Replication.repairAfter(s.Policy.Base())
 	for i := range s.repl.slots {
 		sl := &s.repl.slots[i]
 		if sl.node < 0 || sl.node == s.repl.owner {

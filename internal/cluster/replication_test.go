@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/storage"
 	"repro/internal/syslevel"
@@ -32,7 +33,7 @@ func replicatedSupervisor(t *testing.T, c *Cluster, prog workload.Sparse, iters 
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  iters,
-		Interval:    3 * simtime.Millisecond,
+		Policy:      policy.Fixed(3 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: c.NumNodes() - 1,
 		Replication: rc,
@@ -253,7 +254,7 @@ func TestReplicationPipelinedShipping(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  300,
-		Interval:    3 * simtime.Millisecond,
+		Policy:      policy.Fixed(3 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 		Incremental: true,
@@ -298,7 +299,7 @@ func TestPipelineStaleQueueDropAccounting(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  60,
-		Interval:    3 * simtime.Millisecond,
+		Policy:      policy.Fixed(3 * simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 1,
 		Pipeline:    &PipelineConfig{},
@@ -343,7 +344,7 @@ func TestReplicationConfigValidation(t *testing.T) {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  10,
-		Interval:    simtime.Millisecond,
+		Policy:      policy.Fixed(simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 	}

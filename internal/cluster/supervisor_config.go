@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simtime"
 	"repro/internal/storage"
@@ -22,20 +23,36 @@ import (
 // cluster.Config only because that is already the Cluster's own
 // construction config.) Zero values mean "use the default" wherever a
 // default exists; the required fields are C, MkMech, Prog, Iterations,
-// and Interval.
+// and Policy.
 type SupervisorConfig struct {
 	// Required.
 	C          *Cluster
 	MkMech     func() mechanism.Mechanism
 	Prog       kernel.Program
 	Iterations uint64
-	// Interval between checkpoints; the fixed cadence, or the floor the
-	// adaptive policy starts from when Adaptive is set.
-	Interval simtime.Duration
+	// Policy is the job's checkpoint policy: the cadence strategy
+	// (fixed / youngdaly / adaptive) with its parameters, plus the delta
+	// content policy (everything dirty, or live pages only). Validated
+	// here with policy's typed errors; policy.Fixed(d) reproduces the
+	// old fixed-Interval behaviour exactly.
+	Policy policy.Spec
 
-	Adaptive     bool
+	// Interval and Adaptive are deprecated: the pre-policy cadence
+	// knobs, kept for one release. A zero Policy with Interval set maps
+	// onto policy.Fixed(Interval) — or the adaptive strategy when
+	// Adaptive is also set — with behaviour identical to the old fields
+	// (asserted by TestDeprecatedIntervalAlias). Setting both Policy and
+	// Interval is a configuration error.
+	//
+	// Deprecated: set Policy instead.
+	Interval simtime.Duration
+	// Deprecated: set Policy (strategy "adaptive") instead.
+	Adaptive bool
+
 	UseLocalDisk bool
-	Estimator    *MTBFEstimator
+	// Estimator, when non-nil, seeds the policy engine's MTBF estimator
+	// (experiments pre-train one across runs).
+	Estimator *MTBFEstimator
 
 	// MaxRetries bounds per-round checkpoint retries (0 = default 3;
 	// negative disables retries). RetryBackoff is the first retry delay,
@@ -101,15 +118,13 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		return nil, errors.New("cluster: NewSupervisor: nil Prog (workload)")
 	case cfg.Iterations == 0:
 		return nil, errors.New("cluster: NewSupervisor: zero Iterations")
-	case cfg.Interval <= 0:
-		return nil, fmt.Errorf("cluster: NewSupervisor: non-positive Interval %v", cfg.Interval)
 	case cfg.ControlNode < 0 || cfg.ControlNode >= cfg.C.NumNodes():
 		return nil, fmt.Errorf("cluster: NewSupervisor: ControlNode %d outside [0,%d)",
 			cfg.ControlNode, cfg.C.NumNodes())
-	case cfg.Adaptive && cfg.Detector != nil:
-		// The autonomic loop derives its cadence from agentInterval too,
-		// so this combination is legal — but it needs an estimator with
-		// observations to be meaningful; nil gets the default below.
+	}
+	pol, err := cfg.policySpec()
+	if err != nil {
+		return nil, err
 	}
 	if cfg.RebaseEvery < 0 {
 		return nil, fmt.Errorf("cluster: NewSupervisor: negative RebaseEvery %d", cfg.RebaseEvery)
@@ -149,10 +164,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		MkMech:         cfg.MkMech,
 		Prog:           cfg.Prog,
 		Iterations:     cfg.Iterations,
-		Interval:       cfg.Interval,
-		Adaptive:       cfg.Adaptive,
 		UseLocalDisk:   cfg.UseLocalDisk,
-		Estimator:      cfg.Estimator,
 		MaxRetries:     cfg.MaxRetries,
 		RetryBackoff:   cfg.RetryBackoff,
 		LocalFallback:  cfg.LocalFallback,
@@ -174,15 +186,21 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	// Defaults, applied eagerly so a constructed Supervisor is fully
 	// specified before Run.
-	if s.Estimator == nil {
-		s.Estimator = NewMTBFEstimator(simtime.Hour)
-	}
 	if s.Counters == nil {
 		s.Counters = s.C.Counters
 	}
 	if s.Metrics == nil {
 		s.Metrics = trace.NewMetricsWith(s.Counters)
 	}
+	// The policy engine needs the final metrics bundle, so it is built
+	// after the defaults above. Its estimator doubles as the legacy
+	// Supervisor.Estimator field.
+	eng, err := policy.NewEngine(pol, cfg.Estimator, s.Metrics)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: NewSupervisor: %w", err)
+	}
+	s.Policy = eng
+	s.Estimator = eng.Estimator()
 	if s.MaxRetries == 0 {
 		s.MaxRetries = 3
 	}
@@ -196,6 +214,37 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	// usable for driving agents directly (white-box tests, probes).
 	s.mechAt = make(map[int]nodeMech)
 	return s, nil
+}
+
+// policySpec resolves the configured policy: the new Policy field, or —
+// while the deprecation alias lasts — the legacy Interval/Adaptive pair
+// mapped onto the equivalent strategy. Both at once is a configuration
+// error, and so is neither.
+func (cfg SupervisorConfig) policySpec() (policy.Spec, error) {
+	legacy := cfg.Interval != 0 || cfg.Adaptive
+	switch {
+	case cfg.Policy != (policy.Spec{}) && legacy:
+		return policy.Spec{}, errors.New(
+			"cluster: NewSupervisor: both Policy and deprecated Interval/Adaptive set")
+	case cfg.Policy != (policy.Spec{}):
+		if err := cfg.Policy.Validate(); err != nil {
+			return policy.Spec{}, fmt.Errorf("cluster: NewSupervisor: %w", err)
+		}
+		if cfg.Policy.Interval <= 0 {
+			return policy.Spec{}, fmt.Errorf("cluster: NewSupervisor: %w: Policy.Interval %v",
+				policy.ErrNonPositiveInterval, cfg.Policy.Interval)
+		}
+		return cfg.Policy, nil
+	case cfg.Interval <= 0:
+		return policy.Spec{}, fmt.Errorf("cluster: NewSupervisor: %w: Interval %v",
+			policy.ErrNonPositiveInterval, cfg.Interval)
+	case cfg.Adaptive:
+		sp := policy.AdaptiveYoung(0)
+		sp.Interval = cfg.Interval
+		return sp, nil
+	default:
+		return policy.Fixed(cfg.Interval), nil
+	}
 }
 
 // MustNewSupervisor is NewSupervisor for call sites whose config is

@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simtime"
 	"repro/internal/storage"
@@ -203,7 +204,7 @@ func e19Cluster(quick, lazy bool) E19ClusterSummary {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  uint64(iters),
-		Interval:    simtime.Millisecond,
+		Policy:      policy.Fixed(simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 		Incremental: true,

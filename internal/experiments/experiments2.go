@@ -9,6 +9,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/mechanism"
 	"repro/internal/mpi"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -37,7 +38,7 @@ func E5Storage(mtbfHours []float64) *trace.Table {
 				PermanentFrac: 0.5,
 			}
 			if pol != cluster.StoreNone {
-				cfg.Interval = cluster.FixedInterval(cluster.YoungInterval(cfg.CkptCost, mtbf))
+				cfg.Policy = policy.Fixed(cluster.YoungInterval(cfg.CkptCost, mtbf))
 			}
 			r := cluster.AverageResult(cfg, cluster.Exponential{Mean: mtbf}, 99, 40)
 			mk := "∞"
@@ -74,7 +75,7 @@ func E6Interval(mtbfHours float64) *trace.Table {
 	for _, mult := range []float64{0.125, 0.25, 0.5, 1, 2, 4, 8} {
 		iv := simtime.Duration(float64(opt) * mult)
 		c := cfg
-		c.Interval = cluster.FixedInterval(iv)
+		c.Policy = policy.Fixed(iv)
 		r := cluster.AverageResult(c, cluster.Exponential{Mean: mtbf}, 7, 40)
 		label := "fixed"
 		if mult == 1 {
@@ -87,7 +88,7 @@ func E6Interval(mtbfHours float64) *trace.Table {
 	}
 	d := cfg
 	daly := cluster.DalyInterval(cfg.CkptCost, mtbf)
-	d.Interval = cluster.FixedInterval(daly)
+	d.Policy = policy.Fixed(daly)
 	rd := cluster.AverageResult(d, cluster.Exponential{Mean: mtbf}, 7, 40)
 	tb.Row(fmt.Sprintf("%.0f", float64(daly)/float64(simtime.Minute)), "fixed(=Daly)",
 		fmt.Sprintf("%.2f", float64(rd.Makespan)/float64(simtime.Hour)),
@@ -95,7 +96,7 @@ func E6Interval(mtbfHours float64) *trace.Table {
 		fmt.Sprintf("%.2f", float64(rd.LostWork)/float64(simtime.Hour)))
 
 	a := cfg
-	a.Interval = cluster.AdaptiveYoung(cfg.CkptCost)
+	a.Policy = policy.AdaptiveYoung(cfg.CkptCost)
 	a.PriorMTBF = 100 * simtime.Hour
 	r := cluster.AverageResult(a, cluster.Exponential{Mean: mtbf}, 7, 40)
 	tb.Row("adaptive", "autonomic(Young+MLE)",

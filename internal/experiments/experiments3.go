@@ -5,6 +5,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simtime"
 	"repro/internal/syslevel"
@@ -60,7 +61,7 @@ func e11Run(writeFault float64, unsafeCommit bool) []any {
 		MkMech:        func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:          prog,
 		Iterations:    600,
-		Interval:      5 * simtime.Millisecond,
+		Policy:        policy.Fixed(5 * simtime.Millisecond),
 		LocalFallback: true,
 		UnsafeCommit:  unsafeCommit,
 	})

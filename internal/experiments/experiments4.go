@@ -7,6 +7,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simtime"
 	"repro/internal/syslevel"
@@ -97,7 +98,7 @@ func e12RunFull(kind string, loss float64, partition bool) (row []any, counters,
 		MkMech:     func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:       prog,
 		Iterations: 300,
-		Interval:   3 * simtime.Millisecond,
+		Policy:     policy.Fixed(3 * simtime.Millisecond),
 	}
 	var mon *detector.Monitor
 	if d != nil {

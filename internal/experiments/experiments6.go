@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simtime"
 	"repro/internal/storage"
@@ -113,7 +114,7 @@ func e14Run(dirtyFrac float64, incremental bool, rebaseEvery, iters int) e14Resu
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  uint64(iters),
-		Interval:    interval,
+		Policy:      policy.Fixed(interval),
 		Detector:    mon,
 		ControlNode: 3,
 		Incremental: incremental,

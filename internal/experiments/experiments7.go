@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simtime"
 	"repro/internal/storage"
@@ -65,7 +66,7 @@ func e15Capture(mib, workers int) (simtime.Duration, int) {
 	k.Stop(p)
 	t0 := k.Now()
 	_, st, err := checkpoint.Capture(checkpoint.Request{
-		Acc: &checkpoint.KernelAccessor{K: k, P: p},
+		Acc:       &checkpoint.KernelAccessor{K: k, P: p},
 		Mechanism: "e15", Hostname: "e15", Seq: 1, Now: t0, Parallelism: workers,
 	})
 	if err != nil {
@@ -182,7 +183,7 @@ func e15Pipelined(quick bool) e15ClusterResult {
 		MkMech:      func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:        prog,
 		Iterations:  uint64(iters),
-		Interval:    simtime.Millisecond,
+		Policy:      policy.Fixed(simtime.Millisecond),
 		Detector:    mon,
 		ControlNode: 3,
 		Incremental: true,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -228,7 +229,7 @@ func e16Cluster(quick bool) E16ClusterSummary {
 		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:         prog,
 		Iterations:   uint64(iters),
-		Interval:     simtime.Millisecond,
+		Policy:       policy.Fixed(simtime.Millisecond),
 		Detector:     mon,
 		ControlNode:  3,
 		Incremental:  true,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/detector"
 	"repro/internal/mechanism"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -287,7 +288,7 @@ func e17Cluster(quick bool, mode string, repl *cluster.ReplicationConfig) E17Clu
 		MkMech:       func() mechanism.Mechanism { return syslevel.NewCRAK() },
 		Prog:         prog,
 		Iterations:   uint64(iters),
-		Interval:     simtime.Millisecond,
+		Policy:       policy.Fixed(simtime.Millisecond),
 		Detector:     mon,
 		ControlNode:  3,
 		Incremental:  true,

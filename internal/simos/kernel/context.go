@@ -238,6 +238,28 @@ func (c *Context) Mprotect(addr mem.Addr, length uint64, prot mem.Prot) error {
 	return err
 }
 
+// CheckpointRegion declares a checkpoint-region annotation for the
+// calling process (CRAFT-style protect/exclude hints consumed by capture
+// and by liveness trackers). One syscall per declaration; redeclaring a
+// start address replaces the earlier annotation.
+func (c *Context) CheckpointRegion(r proc.CkptRegion) error {
+	c.syscall("ckpt_region")
+	if r.Length <= 0 {
+		return fmt.Errorf("kernel: CheckpointRegion: non-positive length %d", r.Length)
+	}
+	if c.P.AS.Find(r.Start) == nil {
+		return fmt.Errorf("kernel: CheckpointRegion: %#x not mapped", uint64(r.Start))
+	}
+	c.P.AddCkptRegion(r)
+	return nil
+}
+
+// ClearCheckpointRegions drops every region annotation (one syscall).
+func (c *Context) ClearCheckpointRegions() {
+	c.syscall("ckpt_region")
+	c.P.CkptRegions = nil
+}
+
 // Maps returns the process's memory map, as user code would read it from
 // /proc/self/maps (one syscall plus a per-VMA parse cost).
 func (c *Context) Maps() []*mem.VMA {

@@ -201,6 +201,11 @@ type Fault struct {
 	Addr   Addr
 	Access Access
 	VMA    *VMA // nil when the address is unmapped
+	// Len is the length of the faulting access's span within the page
+	// (zero when unknown, e.g. unmapped addresses). Liveness trackers use
+	// it to distinguish a whole-page overwrite — which makes the page's
+	// prior contents dead — from a partial store that merges with them.
+	Len int
 }
 
 func (f *Fault) Error() string {
@@ -520,7 +525,7 @@ func (as *AddressSpace) access(addr Addr, buf []byte, acc Access) error {
 		}
 		retries := 0
 		for !pg.prot.Can(want) {
-			f := &Fault{Addr: a, Access: acc, VMA: v}
+			f := &Fault{Addr: a, Access: acc, VMA: v, Len: n}
 			as.faultCount++
 			if as.faultHandler == nil {
 				return f

@@ -145,6 +145,11 @@ type Process struct {
 	// CHPOX's /proc registration, EPCKPT's launch-tool tracing).
 	Registered map[string]bool
 
+	// CkptRegions are the application's declarative checkpoint-region
+	// annotations (see region.go): protect pins pages into every capture,
+	// exclude drops them. Declared via the CheckpointRegion syscall.
+	CkptRegions []CkptRegion
+
 	CPUTime  simtime.Duration
 	ExitCode int
 

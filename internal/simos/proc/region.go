@@ -1,0 +1,77 @@
+// Declarative checkpoint regions (CRAFT-style): the application tells
+// the checkpointer which parts of its address space matter. A protect
+// region pins pages into every capture regardless of what liveness
+// tracking concludes; an exclude region declares state the application
+// can rebuild (scratch buffers, caches), which capture drops entirely.
+package proc
+
+import "repro/internal/simos/mem"
+
+// CkptRegionPolicy is what the application asserts about a region.
+type CkptRegionPolicy uint8
+
+// Region policies.
+const (
+	// RegionProtect: always capture these pages; liveness heuristics must
+	// never exclude them (irreplaceable state behind unusual access
+	// patterns).
+	RegionProtect CkptRegionPolicy = iota
+	// RegionExclude: never capture these pages; the application promises
+	// to reconstruct them after a restart (scratch space, caches).
+	RegionExclude
+)
+
+func (p CkptRegionPolicy) String() string {
+	if p == RegionExclude {
+		return "exclude"
+	}
+	return "protect"
+}
+
+// CkptRegion is one application-declared span with its policy.
+type CkptRegion struct {
+	Start  mem.Addr
+	Length int
+	Policy CkptRegionPolicy
+}
+
+// End returns the first address past the region.
+func (r CkptRegion) End() mem.Addr { return r.Start + mem.Addr(r.Length) }
+
+// ContainsPage reports whether the region covers any byte of page pn.
+func (r CkptRegion) ContainsPage(pn mem.PageNum) bool {
+	base := pn.Base()
+	return base < r.End() && base+mem.PageSize > r.Start
+}
+
+// AddCkptRegion records a region declaration, replacing any previous
+// declaration with the same start address.
+func (p *Process) AddCkptRegion(r CkptRegion) {
+	for i, old := range p.CkptRegions {
+		if old.Start == r.Start {
+			p.CkptRegions[i] = r
+			return
+		}
+	}
+	p.CkptRegions = append(p.CkptRegions, r)
+}
+
+// RegionProtected reports whether pn lies in a protect region.
+func (p *Process) RegionProtected(pn mem.PageNum) bool {
+	for _, r := range p.CkptRegions {
+		if r.Policy == RegionProtect && r.ContainsPage(pn) {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionExcluded reports whether pn lies in an exclude region.
+func (p *Process) RegionExcluded(pn mem.PageNum) bool {
+	for _, r := range p.CkptRegions {
+		if r.Policy == RegionExclude && r.ContainsPage(pn) {
+			return true
+		}
+	}
+	return false
+}

@@ -334,8 +334,10 @@ func (m *CondorStyle) Restart(k *kernel.Kernel, chain []*checkpoint.Image, enque
 // user level.
 type EskyStyle struct {
 	userCore
-	// Interval is the timer period.
-	Interval simtime.Duration
+	// Period is the timer period (renamed from the pre-policy Interval
+	// field when cadence configuration moved to policy.Spec; this knob is
+	// the mechanism's own alarm period, not a cluster cadence).
+	Period simtime.Duration
 }
 
 // NewEskyStyle returns an Esky-style instance checkpointing every
@@ -343,7 +345,7 @@ type EskyStyle struct {
 func NewEskyStyle(interval simtime.Duration, defaultTgt storage.Target) *EskyStyle {
 	return &EskyStyle{
 		userCore: userCore{name: "esky", defaultTgt: defaultTgt},
-		Interval: interval,
+		Period:   interval,
 	}
 }
 
@@ -380,14 +382,14 @@ func (m *EskyStyle) Setup(k *kernel.Kernel, p *proc.Process) error {
 				return
 			}
 			m.atPoint(ctx)
-			ctx.Alarm(m.Interval) // re-arm
+			ctx.Alarm(m.Period) // re-arm
 		},
 	}
 	if err := p.Sig.SetHandler(sig.SIGALRM, h); err != nil {
 		return err
 	}
 	ctx := &kernel.Context{K: k, P: p, T: p.MainThread()}
-	ctx.Alarm(m.Interval)
+	ctx.Alarm(m.Period)
 	p.Registered[m.name] = true
 	return nil
 }

@@ -32,6 +32,17 @@ const ArenaBase = mem.Addr(0x1000_0000)
 // ArenaName is the VMA name of the working set.
 const ArenaName = "arena"
 
+// ScratchBase is where region-annotated workloads map their scratch
+// buffer — per-iteration temporaries the program recomputes from the
+// arena after any restart, declared RegionExclude so captures skip them.
+const ScratchBase = mem.Addr(0x2000_0000)
+
+// ScratchName is the VMA name of the scratch buffer.
+const ScratchName = "scratch"
+
+// ScratchBytes is the scratch buffer size (16 pages).
+const ScratchBytes = 16 << mem.PageShift
+
 // Fingerprint returns the workload's observable result: the running
 // checksum register. Two executions are equivalent iff their fingerprints
 // (and exit codes) match.
@@ -62,6 +73,37 @@ func mapArena(ctx *kernel.Context, bytes uint64) error {
 	return err
 }
 
+// declareRegions maps the scratch VMA and files the CRAFT-style region
+// declarations with the kernel: the arena is RegionProtect (results live
+// here — never liveness-excluded), the scratch buffer RegionExclude
+// (recomputable — captures drop it entirely). Workloads opt in via
+// their Regions flag; without it nothing here runs and behaviour is
+// byte-identical to the pre-region workloads.
+func declareRegions(ctx *kernel.Context, arenaBytes uint64) error {
+	if _, err := ctx.P.AS.Map(ScratchBase, ScratchBytes, mem.ProtRW, mem.KindAnon, ScratchName); err != nil {
+		return err
+	}
+	if err := ctx.CheckpointRegion(proc.CkptRegion{
+		Start: ArenaBase, Length: int(arenaBytes), Policy: proc.RegionProtect,
+	}); err != nil {
+		return err
+	}
+	return ctx.CheckpointRegion(proc.CkptRegion{
+		Start: ScratchBase, Length: ScratchBytes, Policy: proc.RegionExclude,
+	})
+}
+
+// scratchStep dirties one scratch page. The content is derived from the
+// tag but deliberately not folded into the checksum: scratch is
+// recomputable state, so the observable output — and therefore the
+// fingerprint — is identical whether or not regions are enabled.
+func scratchStep(ctx *kernel.Context, tag uint64) error {
+	var buf [mem.PageSize]byte
+	pageBuf(buf[:], tag)
+	pg := tag % (ScratchBytes >> mem.PageShift)
+	return ctx.Store(ScratchBase+mem.Addr(pg<<mem.PageShift), buf[:])
+}
+
 // pageBuf fills a page-sized buffer with content derived from tag, so
 // that pages written in different iterations differ.
 func pageBuf(buf []byte, tag uint64) {
@@ -85,10 +127,18 @@ type Dense struct {
 	MiB          int    // working-set size
 	Iterations   uint64 // default iteration limit (0 = forever)
 	PagesPerStep int    // pages processed per Step (default 64)
+	// Regions opts into the declarative checkpoint-region API: a scratch
+	// VMA is mapped and declared RegionExclude, the arena RegionProtect.
+	Regions bool
 }
 
 // Name implements kernel.Program.
-func (d Dense) Name() string { return fmt.Sprintf("dense[mib=%d]", d.MiB) }
+func (d Dense) Name() string {
+	if d.Regions {
+		return fmt.Sprintf("dense[mib=%d,regions]", d.MiB)
+	}
+	return fmt.Sprintf("dense[mib=%d]", d.MiB)
+}
 
 func (d Dense) pagesPerStep() int {
 	if d.PagesPerStep <= 0 {
@@ -100,7 +150,13 @@ func (d Dense) pagesPerStep() int {
 // Init implements kernel.Program.
 func (d Dense) Init(ctx *kernel.Context) error {
 	ctx.Regs().G[1] = d.Iterations
-	return mapArena(ctx, uint64(d.MiB)<<20)
+	if err := mapArena(ctx, uint64(d.MiB)<<20); err != nil {
+		return err
+	}
+	if d.Regions {
+		return declareRegions(ctx, uint64(d.MiB)<<20)
+	}
+	return nil
 }
 
 // Step implements kernel.Program. G[4] holds the sweep position (page
@@ -129,6 +185,11 @@ func (d Dense) Step(ctx *kernel.Context) (kernel.Status, error) {
 			break
 		}
 	}
+	if d.Regions {
+		if err := scratchStep(ctx, r.PC<<32|r.G[4]); err != nil {
+			return kernel.StatusExited, err
+		}
+	}
 	return kernel.StatusRunning, nil
 }
 
@@ -140,10 +201,15 @@ type Sparse struct {
 	Seed         uint64
 	Iterations   uint64
 	PagesPerStep int
+	// Regions opts into the declarative checkpoint-region API (see Dense).
+	Regions bool
 }
 
 // Name implements kernel.Program.
 func (s Sparse) Name() string {
+	if s.Regions {
+		return fmt.Sprintf("sparse[mib=%d,frac=%.3f,seed=%d,regions]", s.MiB, s.WriteFrac, s.Seed)
+	}
 	return fmt.Sprintf("sparse[mib=%d,frac=%.3f,seed=%d]", s.MiB, s.WriteFrac, s.Seed)
 }
 
@@ -160,7 +226,13 @@ func (s Sparse) Init(ctx *kernel.Context) error {
 		return fmt.Errorf("workload: WriteFrac %v out of (0,1]", s.WriteFrac)
 	}
 	ctx.Regs().G[1] = s.Iterations
-	return mapArena(ctx, uint64(s.MiB)<<20)
+	if err := mapArena(ctx, uint64(s.MiB)<<20); err != nil {
+		return err
+	}
+	if s.Regions {
+		return declareRegions(ctx, uint64(s.MiB)<<20)
+	}
+	return nil
 }
 
 // Step implements kernel.Program. G[4] counts writes within the current
@@ -191,6 +263,11 @@ func (s Sparse) Step(ctx *kernel.Context) (kernel.Status, error) {
 		ctx.Compute(cyclesPerPage)
 		mixChecksum(r, pg)
 		r.G[4]++
+	}
+	if s.Regions {
+		if err := scratchStep(ctx, r.PC<<32|r.G[4]); err != nil {
+			return kernel.StatusExited, err
+		}
 	}
 	return kernel.StatusRunning, nil
 }
@@ -335,10 +412,17 @@ type Phased struct {
 	Seed         uint64
 	Iterations   uint64
 	PagesPerStep int
+	// Regions opts into the declarative checkpoint-region API (see Dense).
+	Regions bool
 }
 
 // Name implements kernel.Program.
-func (p Phased) Name() string { return fmt.Sprintf("phased[mib=%d,seed=%d]", p.MiB, p.Seed) }
+func (p Phased) Name() string {
+	if p.Regions {
+		return fmt.Sprintf("phased[mib=%d,seed=%d,regions]", p.MiB, p.Seed)
+	}
+	return fmt.Sprintf("phased[mib=%d,seed=%d]", p.MiB, p.Seed)
+}
 
 func (p Phased) phaseIters() uint64 {
 	if p.PhaseIters == 0 {
@@ -350,7 +434,13 @@ func (p Phased) phaseIters() uint64 {
 // Init implements kernel.Program.
 func (p Phased) Init(ctx *kernel.Context) error {
 	ctx.Regs().G[1] = p.Iterations
-	return mapArena(ctx, uint64(p.MiB)<<20)
+	if err := mapArena(ctx, uint64(p.MiB)<<20); err != nil {
+		return err
+	}
+	if p.Regions {
+		return declareRegions(ctx, uint64(p.MiB)<<20)
+	}
+	return nil
 }
 
 // Step implements kernel.Program by delegating to Dense- or Sparse-like
@@ -393,6 +483,11 @@ func (p Phased) Step(ctx *kernel.Context) (kernel.Status, error) {
 			r.G[4] = 0
 			r.PC++
 			break
+		}
+	}
+	if p.Regions {
+		if err := scratchStep(ctx, r.PC<<32|r.G[4]); err != nil {
+			return kernel.StatusExited, err
 		}
 	}
 	return kernel.StatusRunning, nil

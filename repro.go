@@ -7,6 +7,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/mechanism"
 	"repro/internal/mpi"
+	"repro/internal/policy"
 	"repro/internal/simos/kernel"
 	"repro/internal/simos/proc"
 	"repro/internal/simtime"
@@ -253,6 +254,14 @@ type (
 	Gang = cluster.Gang
 	// GangMember identifies one gang process.
 	GangMember = cluster.GangMember
+
+	// PolicySpec is the unified checkpoint policy: cadence strategy
+	// (fixed / youngdaly / adaptive) with its parameters plus the delta
+	// content policy (all dirty pages, or live pages only).
+	PolicySpec = policy.Spec
+	// PolicyEngine computes the live cadence from the policy spec, the
+	// online MTBF estimate, and measured capture cost.
+	PolicyEngine = policy.Engine
 )
 
 // NewCluster builds an n-node cluster sharing reg.
@@ -268,6 +277,22 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) { return cluster.N
 // MustNewSupervisor is NewSupervisor that panics on a config error — for
 // call sites whose config is statically known valid.
 func MustNewSupervisor(cfg SupervisorConfig) *Supervisor { return cluster.MustNewSupervisor(cfg) }
+
+// FixedPolicy checkpoints every interval — the classic configured
+// cadence as a policy spec.
+func FixedPolicy(interval Duration) PolicySpec { return policy.Fixed(interval) }
+
+// YoungDalyPolicy starts at base and re-derives the Young/Daly optimal
+// interval from observed failures and measured capture cost.
+func YoungDalyPolicy(base Duration) PolicySpec { return policy.YoungDaly(base) }
+
+// AdaptivePolicy is the legacy per-tick Young consult with base as the
+// starting interval and clamp reference.
+func AdaptivePolicy(base Duration) PolicySpec {
+	sp := policy.AdaptiveYoung(0)
+	sp.Interval = base
+	return sp
+}
 
 // YoungInterval is Young's optimal checkpoint interval √(2δM).
 func YoungInterval(ckptCost, mtbf Duration) Duration { return cluster.YoungInterval(ckptCost, mtbf) }
